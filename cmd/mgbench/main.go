@@ -1,0 +1,60 @@
+// Command mgbench regenerates the paper's evaluation tables and figures
+// from the simulator.
+//
+// Usage:
+//
+//	mgbench                          # all experiments, scaled sweep
+//	mgbench -exp fig16               # one experiment
+//	mgbench -full                    # full 250-scenario sweep (slow)
+//	mgbench -scale 0.3 -sample 50    # custom trace scale / sweep size
+//
+// Experiment identifiers: fig04 fig05 fig06 table2 fig15 fig16 fig17
+// fig18 fig19 fig20 fig21.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"unimem/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (default: all)")
+	scale := flag.Float64("scale", 0.12, "trace-length scale factor")
+	seed := flag.Uint64("seed", 1, "trace seed")
+	sample := flag.Int("sample", 24, "scenarios in sweeps (0 = all 250)")
+	full := flag.Bool("full", false, "shorthand for -sample 0 -scale 0.2")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(report.IDs(), "\n"))
+		return
+	}
+	o := report.Options{Scale: *scale, Seed: *seed, SampleN: *sample}
+	if *full {
+		o.SampleN = 0
+		o.Scale = 0.2
+	}
+
+	if *exp != "" {
+		f, err := report.ByID(*exp, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println(f)
+		return
+	}
+	for _, id := range report.IDs() {
+		f, err := report.ByID(id, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println(f)
+	}
+}

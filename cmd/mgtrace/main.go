@@ -1,0 +1,118 @@
+// Command mgtrace inspects the synthetic workload traces: it dumps
+// requests and reports the Fig. 4 stream-chunk classification.
+//
+// Usage:
+//
+//	mgtrace -workload alex                # chunk-mix report
+//	mgtrace -workload mcf -dump 20        # also print the first N requests
+//	mgtrace -all                          # mix table for every workload
+//	mgtrace -workload alex -export a.trc  # export a replayable text trace
+//	mgtrace -replay a.trc                 # chunk-mix of an imported trace
+//
+// The trace format bridges to real simulator traces (see
+// internal/workload/trace.go): users with ChampSim/MGPUSim/mNPUsim output
+// can convert it to this format and replay it here.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"unimem/internal/meta"
+	"unimem/internal/stats"
+	"unimem/internal/workload"
+)
+
+func main() {
+	name := flag.String("workload", "", "workload name (see -all for the list)")
+	scale := flag.Float64("scale", 0.25, "trace-length scale")
+	seed := flag.Uint64("seed", 1, "trace seed")
+	dump := flag.Int("dump", 0, "print the first N requests")
+	all := flag.Bool("all", false, "report the chunk mix of every workload")
+	export := flag.String("export", "", "write the trace to this file and exit")
+	replay := flag.String("replay", "", "analyze a trace file instead of a generator")
+	flag.Parse()
+
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		g, err := workload.ReadTrace(f, *replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		m := workload.AnalyzeStreamChunks(g, 0)
+		fmt.Printf("%s: %d requests, 64B %.1f%% / 512B %.1f%% / 4KB %.1f%% / 32KB %.1f%%\n",
+			*replay, m.Requests, 100*m.Frac[meta.Gran64], 100*m.Frac[meta.Gran512],
+			100*m.Frac[meta.Gran4K], 100*m.Frac[meta.Gran32K])
+		return
+	}
+
+	if *all {
+		t := stats.NewTable("workload", "class", "requests", "64B", "512B", "4KB", "32KB")
+		for _, n := range workload.Names() {
+			g, _ := workload.ByName(n, *scale, *seed)
+			m := workload.AnalyzeStreamChunks(g, 0)
+			t.Row(n, workload.Profiles[n].Class.String(), m.Requests,
+				m.Frac[meta.Gran64], m.Frac[meta.Gran512], m.Frac[meta.Gran4K], m.Frac[meta.Gran32K])
+		}
+		fmt.Print(t)
+		return
+	}
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "need -workload or -all")
+		os.Exit(2)
+	}
+	g, err := workload.ByName(*name, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *export != "" {
+		f, err := os.Create(*export)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		n, err := workload.WriteTrace(f, g)
+		if err2 := f.Close(); err == nil {
+			err = err2
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %d requests to %s\n", n, *export)
+		return
+	}
+	if *dump > 0 {
+		fmt.Printf("first %d requests of %s:\n", *dump, *name)
+		for i := 0; i < *dump; i++ {
+			r, ok := g.Next()
+			if !ok {
+				break
+			}
+			op := "R"
+			if r.Write {
+				op = "W"
+			}
+			dep := ""
+			if r.Dep {
+				dep = " dep"
+			}
+			fmt.Printf("  %s %#010x +%-5d gap=%dps%s\n", op, r.Addr, r.Size, r.GapPs, dep)
+		}
+		g, _ = workload.ByName(*name, *scale, *seed)
+	}
+	m := workload.AnalyzeStreamChunks(g, 0)
+	fmt.Printf("%s: %d requests\n", *name, m.Requests)
+	fmt.Printf("  64B  : %5.1f%%\n", 100*m.Frac[meta.Gran64])
+	fmt.Printf("  512B : %5.1f%%\n", 100*m.Frac[meta.Gran512])
+	fmt.Printf("  4KB  : %5.1f%%\n", 100*m.Frac[meta.Gran4K])
+	fmt.Printf("  32KB : %5.1f%%\n", 100*m.Frac[meta.Gran32K])
+}

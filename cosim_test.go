@@ -1,0 +1,100 @@
+package unimem
+
+import (
+	"testing"
+
+	"unimem/internal/workload"
+)
+
+// TestCoSimulationFunctionalMirror replays a real workload trace through
+// the functional protection layer, letting its built-in tracker drive the
+// same dynamic granularity decisions the timing engine models. Every
+// access must verify cleanly through promotions and demotions — the
+// functional layer is the correctness witness for the timing model's
+// granularity churn.
+func TestCoSimulationFunctionalMirror(t *testing.T) {
+	gen, err := workload.ByName("ncf", 0.03, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProtected(16<<20, 99)
+	buf := make([]byte, BlockSize)
+	ops := 0
+	for {
+		r, ok := gen.Next()
+		if !ok {
+			break
+		}
+		for off := 0; off < r.Size; off += BlockSize {
+			addr := (r.Addr + uint64(off)) % (16 << 20)
+			if r.Write {
+				buf[0] = byte(ops)
+				if err := p.Write(addr, buf); err != nil {
+					t.Fatalf("op %d: write %#x: %v", ops, addr, err)
+				}
+			} else {
+				if _, err := p.Read(addr); err != nil {
+					t.Fatalf("op %d: read %#x: %v", ops, addr, err)
+				}
+			}
+			ops++
+		}
+	}
+	if ops < 500 {
+		t.Fatalf("trace too short to exercise promotion: %d ops", ops)
+	}
+	// The trace's streaming must have promoted something.
+	promoted := false
+	for chunk := uint64(0); chunk < (16<<20)/ChunkSize; chunk++ {
+		if p.GranOf(chunk*ChunkSize) != Gran64 {
+			promoted = true
+			break
+		}
+	}
+	if !promoted {
+		t.Fatal("co-simulation never promoted a region")
+	}
+	// Everything still verifies after the churn.
+	for chunk := uint64(0); chunk < (16<<20)/ChunkSize; chunk += 7 {
+		if err := p.Verify(chunk * ChunkSize); err != nil {
+			t.Fatalf("post-trace verify failed at chunk %d: %v", chunk, err)
+		}
+	}
+}
+
+// TestCoSimulationCPUTrace mirrors a fine-grained CPU trace with
+// dependent loads; granularity must stay overwhelmingly fine and all
+// accesses verify.
+func TestCoSimulationCPUTrace(t *testing.T) {
+	gen, err := workload.ByName("gcc", 0.02, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProtected(16<<20, 7)
+	buf := make([]byte, BlockSize)
+	for {
+		r, ok := gen.Next()
+		if !ok {
+			break
+		}
+		addr := r.Addr % (16 << 20)
+		if r.Write {
+			if err := p.Write(addr, buf); err != nil {
+				t.Fatalf("write %#x: %v", addr, err)
+			}
+		} else if _, err := p.Read(addr); err != nil {
+			t.Fatalf("read %#x: %v", addr, err)
+		}
+	}
+	fine := 0
+	total := 0
+	for chunk := uint64(0); chunk < (2 << 20 / ChunkSize); chunk++ {
+		total++
+		if p.GranOf(chunk*ChunkSize) == Gran64 {
+			fine++
+		}
+	}
+	if fine*4 < total*3 {
+		t.Fatalf("fine CPU trace promoted too much: %d/%d chunks fine", fine, total)
+	}
+}

@@ -1,0 +1,25 @@
+// Package unimem is a reproduction of "Unified Memory Protection with
+// Multi-granular MAC and Integrity Tree for Heterogeneous Processors"
+// (ISCA 2025): a counter-mode memory-protection engine that supports four
+// protection granularities (64B, 512B, 4KB, 32KB) for both MACs and the
+// counter integrity tree, detects the right granularity per 512B partition
+// dynamically, and composes with subtree optimizations (Bonsai Merkle
+// Forests, PENGLAI unused-region pruning).
+//
+// The package exposes two layers:
+//
+//   - A functional protection layer (Protected): a real protected memory
+//     image with AES-CTR encryption, 8B truncated-HMAC MACs, nested
+//     multi-granular MACs and an 8-ary counter tree chained to on-chip
+//     roots. Tampering, splicing and replay of the off-chip image are
+//     actually detected.
+//
+//   - A timing layer (RunScenario, RunPipeline, Schemes): a discrete-event
+//     simulator of an NVIDIA-Orin-like SoC — CPU + GPU + 2 NPUs sharing
+//     LPDDR4 behind one protection engine — that reproduces the paper's
+//     evaluation: every scheme of Table 5, the 250 scenarios of Table 4,
+//     and the benchmarks behind Figures 4-21.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results of every table and figure.
+package unimem

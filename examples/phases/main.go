@@ -1,0 +1,81 @@
+// Phases demonstrates the paper's im2col motivation (section 4.4,
+// misprediction handler): a tensor region is first laid out by
+// fine-grained writes (an initialization / im2col phase), then streamed
+// coarsely by the accelerator. Static granularities lose on one of the
+// two phases; dynamic detection adapts — the reason the paper rejects
+// per-device static granularity.
+package main
+
+import (
+	"fmt"
+
+	"unimem/internal/core"
+	"unimem/internal/cpu"
+	"unimem/internal/mem"
+	"unimem/internal/meta"
+	"unimem/internal/npu"
+	"unimem/internal/sim"
+	"unimem/internal/workload"
+)
+
+// phased is an alex-like NPU workload whose first 30% is a fine-grained
+// initialization phase over the streamed zone.
+var phased = workload.Profile{
+	Name: "alex-phased", Class: workload.NPU,
+	Requests: 3000, FootprintBytes: 16 << 20,
+	Stream4K: 100_000, Stream32K: 750_000,
+	ReqSize: 32768, RandomSize: 256, WriteFrac: 300_000,
+	GapPs: 2_000_000, Revisit: 550_000,
+	InitFrac: 300_000,
+}
+
+func run(scheme core.Scheme, static meta.Gran) (sim.Time, uint64) {
+	eng := sim.NewEngine()
+	mm := mem.New(eng, mem.OrinConfig())
+	opts := core.Options{Devices: 4}
+	if scheme == core.StaticDeviceBest {
+		opts.StaticGran = []meta.Gran{static, static, static, static}
+	}
+	en := core.New(eng, mm, 4<<30, scheme, opts)
+	gen := workload.New(phased, 0.3, 7)
+	var d interface {
+		Start()
+		FinishTime() sim.Time
+	}
+	if phased.Class == workload.CPU {
+		d = cpu.New(eng, en, gen, 0, 0)
+	} else {
+		d = npu.New(eng, en, gen, 2, 0)
+	}
+	d.Start()
+	eng.RunAll()
+	en.Finish()
+	return d.FinishTime(), mm.Stats.Bytes()
+}
+
+func main() {
+	fmt.Println("alex-phased: 30% fine-grained init writes, then 32KB tile streams")
+	fmt.Println()
+	un, unB := run(core.Unsecure, 0)
+	fmt.Printf("%-24s %10s %10s %8s\n", "scheme", "exec (us)", "traffic MB", "norm")
+	show := func(name string, t sim.Time, b uint64) {
+		fmt.Printf("%-24s %10.1f %10.2f %8.3f\n", name, float64(t)/1e6, float64(b)/1e6, float64(t)/float64(un))
+	}
+	show("Unsecure", un, unB)
+	t, b := run(core.Conventional, 0)
+	show("Conventional (64B)", t, b)
+	for _, g := range []meta.Gran{meta.Gran512, meta.Gran4K, meta.Gran32K} {
+		t, b := run(core.StaticDeviceBest, g)
+		show("Static "+g.String(), t, b)
+	}
+	t, b = run(core.Ours, 0)
+	show("Ours (dynamic)", t, b)
+	fmt.Println()
+	fmt.Println("Each static choice loses on one phase: 64B pays full metadata through")
+	fmt.Println("the streaming phase, 32KB pays read-modify-write through the init")
+	fmt.Println("phase. A lucky middle point (4KB here) can win a single workload, but")
+	fmt.Println("finding it needs the offline exhaustive search the paper charges")
+	fmt.Println("against Static-device-best — and the same 4KB choice loses badly on")
+	fmt.Println("fine-grained workloads. Dynamic detection lands near the per-phase")
+	fmt.Println("best with no a-priori knowledge (paper sections 3.3 and 4.4).")
+}

@@ -1,0 +1,54 @@
+// Sweep runs a configurable slice of the 250-scenario space across
+// protection schemes and emits a CSV suitable for plotting the paper's
+// Fig. 15/17 CDFs — the "take the data elsewhere" workflow.
+//
+//	go run ./examples/sweep -n 24 -scale 0.1 > sweep.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"unimem"
+)
+
+func main() {
+	n := flag.Int("n", 12, "number of scenarios (0 = all 250)")
+	scale := flag.Float64("scale", 0.08, "trace-length scale")
+	seed := flag.Uint64("seed", 1, "trace seed")
+	flag.Parse()
+
+	schemes := []unimem.Scheme{
+		unimem.Conventional, unimem.MultiCTROnly, unimem.Ours,
+		unimem.Adaptive, unimem.CommonCTR, unimem.BMFUnused, unimem.BMFUnusedOurs,
+	}
+	cfg := unimem.SimConfig{Scale: *scale, Seed: *seed}
+	results := unimem.Sweep(unimem.SampleScenarios(*n), schemes, cfg)
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	header := []string{"scenario", "cpu", "gpu", "npu1", "npu2"}
+	for _, s := range schemes {
+		header = append(header, s.String()+" exec", s.String()+" traffic")
+	}
+	if err := w.Write(header); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, r := range results {
+		row := []string{r.Scenario.ID, r.Scenario.CPU, r.Scenario.GPU, r.Scenario.NPU1, r.Scenario.NPU2}
+		for _, s := range schemes {
+			nres := r.ByScheme[s]
+			row = append(row,
+				strconv.FormatFloat(nres.Mean, 'f', 4, 64),
+				strconv.FormatFloat(nres.TrafficRatio, 'f', 4, 64))
+		}
+		if err := w.Write(row); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package cache implements the set-associative on-chip caches used across
+// the simulator: the 8KB security-metadata cache and 4KB MAC cache of the
+// memory-protection engine (paper section 5.1), the granularity-table
+// cache, and the small LLC front filters of the device models.
+//
+// The cache is a timing/occupancy model: it tracks tags, dirty bits and LRU
+// state, not payload bytes. The functional protection layer (internal/secmem)
+// holds real bytes; it shares geometry with this model through internal/meta.
+package cache
+
+// Line addresses handed to the cache are byte addresses; the cache aligns
+// them to its line size internally.
+
+// Config describes one cache.
+type Config struct {
+	// SizeBytes is total capacity.
+	SizeBytes int
+	// LineBytes is the line size (64 for every cache in the paper).
+	LineBytes int
+	// Ways is the associativity.
+	Ways int
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64 // dirty evictions
+}
+
+// MissRate returns misses / (hits+misses), or 0 when idle.
+func (s *Stats) MissRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(total)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // larger = more recent
+}
+
+// Cache is a set-associative write-back cache model with LRU replacement.
+type Cache struct {
+	cfg   Config
+	sets  int
+	lines []line // sets*ways, row-major by set
+	tick  uint64
+	// Stats is the running event account.
+	Stats Stats
+}
+
+// New builds a cache. It panics on a non-positive or inconsistent geometry
+// because configuration is always programmer-supplied.
+func New(cfg Config) *Cache {
+	if cfg.LineBytes <= 0 || cfg.SizeBytes <= 0 || cfg.Ways <= 0 {
+		panic("cache: non-positive geometry")
+	}
+	nLines := cfg.SizeBytes / cfg.LineBytes
+	if nLines == 0 || nLines%cfg.Ways != 0 {
+		panic("cache: size/line/ways inconsistent")
+	}
+	return &Cache{
+		cfg:   cfg,
+		sets:  nLines / cfg.Ways,
+		lines: make([]line, nLines),
+	}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	blk := addr / uint64(c.cfg.LineBytes)
+	return int(blk % uint64(c.sets)), blk / uint64(c.sets)
+}
+
+// Lookup probes the cache without filling. It updates LRU and stats on hit
+// only.
+func (c *Cache) Lookup(addr uint64) bool {
+	set, tag := c.index(addr)
+	base := set * c.cfg.Ways
+	for i := 0; i < c.cfg.Ways; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == tag {
+			c.tick++
+			l.lru = c.tick
+			c.Stats.Hits++
+			return true
+		}
+	}
+	c.Stats.Misses++
+	return false
+}
+
+// Access probes the cache and fills on miss. It returns whether the probe
+// hit, and whether the fill evicted a dirty line (a writeback the caller
+// must charge to memory). dirty marks the accessed line dirty (a store).
+func (c *Cache) Access(addr uint64, dirty bool) (hit, writeback bool) {
+	set, tag := c.index(addr)
+	base := set * c.cfg.Ways
+	c.tick++
+	victim := -1
+	var victimLRU uint64 = ^uint64(0)
+	for i := 0; i < c.cfg.Ways; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == tag {
+			l.lru = c.tick
+			if dirty {
+				l.dirty = true
+			}
+			c.Stats.Hits++
+			return true, false
+		}
+		if !l.valid {
+			if victimLRU != 0 { // prefer invalid lines unconditionally
+				victim = i
+				victimLRU = 0
+			}
+		} else if l.lru < victimLRU {
+			victim = i
+			victimLRU = l.lru
+		}
+	}
+	c.Stats.Misses++
+	l := &c.lines[base+victim]
+	if l.valid {
+		c.Stats.Evictions++
+		if l.dirty {
+			c.Stats.Writebacks++
+			writeback = true
+		}
+	}
+	*l = line{tag: tag, valid: true, dirty: dirty, lru: c.tick}
+	return false, writeback
+}
+
+// Invalidate drops a line if present, returning whether it was dirty.
+// Used when granularity switching relocates metadata, which changes the
+// addresses metadata lives at.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	set, tag := c.index(addr)
+	base := set * c.cfg.Ways
+	for i := 0; i < c.cfg.Ways; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == tag {
+			d := l.dirty
+			*l = line{}
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// Reset clears all lines and statistics.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	c.tick = 0
+	c.Stats = Stats{}
+}

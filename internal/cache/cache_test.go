@@ -1,0 +1,190 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() *Cache {
+	// 8 lines of 64B, 2-way: 4 sets.
+	return New(Config{SizeBytes: 512, LineBytes: 64, Ways: 2})
+}
+
+func TestGeometry(t *testing.T) {
+	c := small()
+	if c.Sets() != 4 {
+		t.Fatalf("sets = %d, want 4", c.Sets())
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	cases := []Config{
+		{SizeBytes: 0, LineBytes: 64, Ways: 1},
+		{SizeBytes: 512, LineBytes: 0, Ways: 1},
+		{SizeBytes: 512, LineBytes: 64, Ways: 3}, // 8 lines % 3 != 0
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: New(%+v) did not panic", i, cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := small()
+	if hit, _ := c.Access(0x1000, false); hit {
+		t.Fatal("first access hit")
+	}
+	if hit, _ := c.Access(0x1000, false); !hit {
+		t.Fatal("second access missed")
+	}
+	// Same line, different byte offset.
+	if hit, _ := c.Access(0x103f, false); !hit {
+		t.Fatal("same-line offset access missed")
+	}
+	if c.Stats.Hits != 2 || c.Stats.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits 1 miss", c.Stats)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small()
+	// Three lines mapping to set 0 (set stride = 4 lines * 64B = 256B).
+	a, b, d := uint64(0), uint64(4*64), uint64(8*64)
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a most recent; b is LRU
+	c.Access(d, false) // evicts b
+	if hit, _ := c.Access(a, false); !hit {
+		t.Fatal("a was evicted but should have been MRU")
+	}
+	if hit, _ := c.Access(b, false); hit {
+		t.Fatal("b should have been evicted")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c := small()
+	a, b, d := uint64(0), uint64(256), uint64(512)
+	c.Access(a, true) // dirty
+	c.Access(b, false)
+	_, wb := c.Access(d, false) // evicts dirty a
+	if !wb {
+		t.Fatal("eviction of dirty line did not report writeback")
+	}
+	if c.Stats.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Stats.Writebacks)
+	}
+}
+
+func TestHitUpgradesToDirty(t *testing.T) {
+	c := small()
+	a, b, d := uint64(0), uint64(256), uint64(512)
+	c.Access(a, false)
+	c.Access(a, true) // store hit marks dirty
+	c.Access(b, false)
+	c.Access(b, false) // a is LRU now
+	if _, wb := c.Access(d, false); !wb {
+		t.Fatal("store-hit did not mark line dirty")
+	}
+}
+
+func TestLookupDoesNotFill(t *testing.T) {
+	c := small()
+	if c.Lookup(0x40) {
+		t.Fatal("lookup hit on empty cache")
+	}
+	if c.Lookup(0x40) {
+		t.Fatal("lookup filled the cache")
+	}
+	if c.Stats.Misses != 2 {
+		t.Fatalf("misses = %d, want 2", c.Stats.Misses)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := small()
+	c.Access(0x40, true)
+	present, dirty := c.Invalidate(0x40)
+	if !present || !dirty {
+		t.Fatalf("invalidate = (%v,%v), want (true,true)", present, dirty)
+	}
+	if hit, _ := c.Access(0x40, false); hit {
+		t.Fatal("line survived invalidation")
+	}
+	if p, _ := c.Invalidate(0x9999999); p {
+		t.Fatal("invalidate of absent line reported present")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := small()
+	c.Access(0x40, true)
+	c.Reset()
+	if c.Stats.Hits != 0 || c.Stats.Misses != 0 {
+		t.Fatalf("stats not cleared: %+v", c.Stats)
+	}
+	if hit, _ := c.Access(0x40, false); hit {
+		t.Fatal("line survived reset")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := small()
+	if c.Stats.MissRate() != 0 {
+		t.Fatal("idle miss rate != 0")
+	}
+	c.Access(0, false)
+	c.Access(0, false)
+	if got := c.Stats.MissRate(); got != 0.5 {
+		t.Fatalf("miss rate = %v, want 0.5", got)
+	}
+}
+
+// Property: working sets no larger than one set's associativity never
+// conflict-miss after the first touch.
+func TestNoThrashWithinAssociativityProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		c := New(Config{SizeBytes: 4096, LineBytes: 64, Ways: 4})
+		// 4 lines all in the same set (set stride = 16 lines).
+		addrs := make([]uint64, 4)
+		for i := range addrs {
+			addrs[i] = uint64(seed)%7*64 + uint64(i)*16*64 // same set index
+		}
+		for _, a := range addrs {
+			c.Access(a, false)
+		}
+		for round := 0; round < 8; round++ {
+			for _, a := range addrs {
+				if hit, _ := c.Access(a, false); !hit {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hits+misses equals number of Access calls, and evictions never
+// exceed misses.
+func TestStatsConservationProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := small()
+		for _, a := range addrs {
+			c.Access(uint64(a)*64, a%3 == 0)
+		}
+		s := c.Stats
+		return s.Hits+s.Misses == uint64(len(addrs)) && s.Evictions <= s.Misses && s.Writebacks <= s.Evictions
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"unimem/internal/cache"
+	"unimem/internal/mem"
+	"unimem/internal/meta"
+	"unimem/internal/sim"
+	"unimem/internal/tracker"
+	"unimem/internal/tree"
+)
+
+// Request is one LLC-miss memory transaction from a processing unit.
+type Request struct {
+	// Device indexes the issuing processing unit (for per-device policy
+	// and statistics).
+	Device int
+	// Addr is the starting byte address (64B aligned).
+	Addr uint64
+	// Size is the transaction size in bytes (64B for a cacheline miss,
+	// up to 32KB for a DMA tile).
+	Size int
+	// Write marks a dirty-eviction / DMA store.
+	Write bool
+}
+
+// Options tunes the engine. Zero values select the paper's configuration
+// (section 5.1).
+type Options struct {
+	// Devices is the number of processing units (default 4).
+	Devices int
+	// StaticGran is the per-device fixed granularity for StaticDeviceBest.
+	StaticGran []meta.Gran
+	// FixedTable preloads the granularity table for PerPartitionOracle.
+	FixedTable *meta.Table
+	// MetaCacheBytes is the security-metadata cache size (default 8KB).
+	MetaCacheBytes int
+	// MACCacheBytes is the MAC cache size (default 4KB).
+	MACCacheBytes int
+	// GTCacheBytes is the granularity-table cache size (default 32KB; one
+	// 64B line covers four chunks = 128KB of data, giving the high
+	// locality section 4.4 relies on).
+	GTCacheBytes int
+	// OTPPs / XORPs are the crypto latencies (defaults: 10 cycles, 1 cycle
+	// at 1 GHz per section 5.1).
+	OTPPs, XORPs sim.Time
+	// CommonCTRLimit caps the shared-counter set of the CommonCTR scheme
+	// (default 16, per section 2.3).
+	CommonCTRLimit int
+	// OpenUnits is the size of the in-flight coarse-unit buffer that
+	// coalesces the member beats of one bulk verification (default 16).
+	OpenUnits int
+	// Tracker configures the access tracker (default: paper's 12 entries,
+	// 16K-cycle lifetime).
+	Tracker tracker.Config
+}
+
+func (o *Options) fill() {
+	if o.Devices <= 0 {
+		o.Devices = 4
+	}
+	if o.MetaCacheBytes <= 0 {
+		o.MetaCacheBytes = 8 << 10
+	}
+	if o.MACCacheBytes <= 0 {
+		o.MACCacheBytes = 4 << 10
+	}
+	if o.GTCacheBytes <= 0 {
+		o.GTCacheBytes = 32 << 10
+	}
+	if o.OTPPs <= 0 {
+		o.OTPPs = 10 * sim.PsPerGPUCycle
+	}
+	if o.XORPs <= 0 {
+		o.XORPs = 1 * sim.PsPerGPUCycle
+	}
+	if o.CommonCTRLimit <= 0 {
+		o.CommonCTRLimit = 16
+	}
+	if o.OpenUnits <= 0 {
+		o.OpenUnits = 16
+	}
+}
+
+// SwitchStats counts granularity-switch events by the Table 2 taxonomy.
+type SwitchStats struct {
+	// Counter/tree side.
+	DownAll uint64 // coarse->fine, all types: zero cost (lazy switching)
+	UpWAR   uint64 // fine->coarse, write-after-read: zero cost
+	UpWAW   uint64 // fine->coarse, write-after-write: zero cost
+	UpRAR   uint64 // fine->coarse, read-after-read: fetch parent to root
+	UpRAW   uint64 // fine->coarse, read-after-write: mostly metadata-cache hits
+	// MAC side.
+	MACDownRO uint64 // coarse->fine on read-only data: fetch fine MACs
+	MACDownRW uint64 // coarse->fine on written data: fetch whole data chunk
+	MACUpLazy uint64 // fine->coarse: zero cost (lazy)
+	// Correct counts requests that needed no switch.
+	Correct uint64
+}
+
+// Total returns all classified requests (switching + correct).
+func (s *SwitchStats) Total() uint64 {
+	return s.DownAll + s.UpWAR + s.UpWAW + s.UpRAR + s.UpRAW + s.Correct
+}
+
+// Stats aggregates engine activity.
+type Stats struct {
+	Requests   uint64
+	Reads      uint64
+	Writes     uint64
+	Switches   SwitchStats
+	Detections uint64
+	// OverfetchBeats counts extra 64B data beats fetched because an access
+	// was finer than its protection unit.
+	OverfetchBeats uint64
+	// WalkLevels accumulates traversed tree levels (divide by Reads+Writes
+	// for the mean validation path).
+	WalkLevels    uint64
+	PrunedWalks   uint64
+	SubtreeHits   uint64
+	SharedCTRHits uint64 // CommonCTR treeless hits
+}
+
+// Engine is the timing model of the unified memory-protection engine.
+type Engine struct {
+	se     *sim.Engine
+	mm     *mem.Memory
+	geom   *meta.Geometry
+	scheme Scheme
+	pol    policy
+	opts   Options
+
+	table     *meta.Table
+	trk       *tracker.Tracker
+	walker    *tree.Walker
+	metaCache *cache.Cache
+	macCache  *cache.Cache
+	gtCache   *cache.Cache
+	openUnits *cache.Cache
+
+	shared       map[uint64]bool // CommonCTR shared-counter chunks
+	lastWrite    map[uint64]bool // last access type per chunk
+	writtenParts map[uint64]uint64
+	demoteVotes  map[uint64]meta.StreamPart // demotion hysteresis per chunk
+
+	cryptoPs sim.Time
+
+	perDev []DeviceStats
+	lat    LatencyHistogram
+
+	// Stats is the running account.
+	Stats Stats
+}
+
+// New builds an engine for one scheme over a protected region of
+// regionBytes, sharing the simulation engine and memory system with the
+// device models.
+func New(se *sim.Engine, mm *mem.Memory, regionBytes uint64, scheme Scheme, opts Options) *Engine {
+	opts.fill()
+	pol := policyFor(scheme)
+	e := &Engine{
+		se:           se,
+		mm:           mm,
+		geom:         meta.NewGeometry(regionBytes),
+		scheme:       scheme,
+		pol:          pol,
+		opts:         opts,
+		lastWrite:    map[uint64]bool{},
+		writtenParts: map[uint64]uint64{},
+		demoteVotes:  map[uint64]meta.StreamPart{},
+		cryptoPs:     opts.OTPPs + opts.XORPs,
+		perDev:       make([]DeviceStats, opts.Devices),
+	}
+	if !pol.protect {
+		return e
+	}
+	e.metaCache = cache.New(cache.Config{SizeBytes: opts.MetaCacheBytes, LineBytes: 64, Ways: 8})
+	e.macCache = cache.New(cache.Config{SizeBytes: opts.MACCacheBytes, LineBytes: 64, Ways: 8})
+	treeCfg := tree.Config{}
+	if pol.subtree {
+		treeCfg = tree.DefaultSubtree()
+	}
+	e.walker = tree.New(e.geom, e.metaCache, treeCfg)
+	if pol.useTable {
+		e.gtCache = cache.New(cache.Config{SizeBytes: opts.GTCacheBytes, LineBytes: 64, Ways: 8})
+		if pol.oracle {
+			if opts.FixedTable == nil {
+				e.table = meta.NewTable()
+			} else {
+				e.table = opts.FixedTable
+			}
+		} else {
+			e.table = meta.NewTable()
+		}
+	}
+	if pol.detect {
+		e.trk = tracker.New(opts.Tracker)
+	}
+	if pol.commonCTR {
+		e.shared = map[uint64]bool{}
+	}
+	e.openUnits = cache.New(cache.Config{
+		SizeBytes: opts.OpenUnits * 64,
+		LineBytes: 64,
+		Ways:      opts.OpenUnits,
+	})
+	return e
+}
+
+// Scheme returns the configured scheme.
+func (e *Engine) Scheme() Scheme { return e.scheme }
+
+// Geometry returns the metadata layout.
+func (e *Engine) Geometry() *meta.Geometry { return e.geom }
+
+// Table returns the granularity table (nil for schemes without one).
+func (e *Engine) Table() *meta.Table { return e.table }
+
+// SecurityCacheMisses returns combined metadata + MAC (+ granularity
+// table) cache misses — the quantity Fig. 16 / Fig. 18 report.
+func (e *Engine) SecurityCacheMisses() uint64 {
+	var n uint64
+	if e.metaCache != nil {
+		n += e.metaCache.Stats.Misses
+	}
+	if e.macCache != nil {
+		n += e.macCache.Stats.Misses
+	}
+	if e.gtCache != nil {
+		n += e.gtCache.Stats.Misses
+	}
+	return n
+}
+
+// CacheStats exposes the individual security caches (may be nil).
+func (e *Engine) CacheStats() (metaC, macC, gtC *cache.Stats) {
+	if e.metaCache != nil {
+		metaC = &e.metaCache.Stats
+	}
+	if e.macCache != nil {
+		macC = &e.macCache.Stats
+	}
+	if e.gtCache != nil {
+		gtC = &e.gtCache.Stats
+	}
+	return
+}
+
+// MeanWalkLevels returns the average integrity-tree validation path length.
+func (e *Engine) MeanWalkLevels() float64 {
+	n := e.Stats.Reads + e.Stats.Writes
+	if n == 0 {
+		return 0
+	}
+	return float64(e.Stats.WalkLevels) / float64(n)
+}
+
+// Finish flushes the tracker so trailing detections land in the table
+// (mirrors the end-of-kernel behaviour of the baselines).
+func (e *Engine) Finish() {
+	if e.trk == nil {
+		return
+	}
+	for _, det := range e.trk.Flush() {
+		e.applyDetection(det)
+	}
+}
+
+// unit is one protection unit covering part of a request.
+type unitSpan struct {
+	base uint64
+	gran meta.Gran
+}
+
+// forEachUnit visits the protection units covering [addr, addr+size) under
+// a stream-part encoding, capping unit granularity at cap.
+func forEachUnit(sp meta.StreamPart, chunkBase, addr uint64, size int, cap meta.Gran, fn func(unitSpan)) {
+	end := addr + uint64(size)
+	for addr < end {
+		u := sp.UnitOf(int((addr - chunkBase) / meta.BlockSize))
+		g := u.Gran
+		base := chunkBase + uint64(u.Block)*meta.BlockSize
+		if g > cap {
+			g = cap
+			base = meta.AlignGran(addr, g)
+		}
+		fn(unitSpan{base: base, gran: g})
+		addr = base + g.Bytes()
+	}
+}
+
+// forEachFixed visits fixed-granularity units covering the span.
+func forEachFixed(g meta.Gran, addr uint64, size int, fn func(unitSpan)) {
+	end := addr + uint64(size)
+	for a := meta.AlignGran(addr, g); a < end; a += g.Bytes() {
+		fn(unitSpan{base: a, gran: g})
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import "unimem/internal/meta"
+
+// HWCost re-derives the hardware-overhead arithmetic of paper section 4.5
+// from its constants, so the claimed numbers are checkable.
+type HWCost struct {
+	// TrackerBits is the access-tracker storage: entries x (512 access
+	// bits + 49 chunk-index bits).
+	TrackerBits int
+	// DetectBufferBits is the temporary stream_part buffer: 64 bits.
+	DetectBufferBits int
+	// TotalBytes is the total on-chip storage, rounded up.
+	TotalBytes int
+	// AreaMM2 and PowerMW are the storage + ALU costs from the paper's
+	// CACTI / ALU references.
+	AreaMM2 float64
+	PowerMW float64
+	// AreaOverheadPct / PowerOverheadPct are relative to the NVIDIA Xavier
+	// reference SoC (350 mm^2, 30 W).
+	AreaOverheadPct  float64
+	PowerOverheadPct float64
+}
+
+// ComputeHWCost evaluates section 4.5 for a tracker with the given number
+// of entries (12 in the paper).
+func ComputeHWCost(entries int) HWCost {
+	const (
+		chunkIndexBits = 49
+		storageAreaMM2 = 0.013 // CACTI, 850B
+		storagePowerMW = 0.04
+		aluAreaMM2     = 0.09 // 64-bit ALU reference
+		aluPowerMW     = 213
+		xavierAreaMM2  = 350
+		xavierPowerMW  = 30000
+	)
+	c := HWCost{
+		TrackerBits:      entries * (meta.BlocksPerChunk + chunkIndexBits),
+		DetectBufferBits: meta.PartsPerChunk,
+	}
+	totalBits := c.TrackerBits + c.DetectBufferBits
+	c.TotalBytes = (totalBits + 7) / 8
+	c.AreaMM2 = storageAreaMM2 + aluAreaMM2
+	c.PowerMW = storagePowerMW + aluPowerMW
+	c.AreaOverheadPct = c.AreaMM2 / xavierAreaMM2 * 100
+	c.PowerOverheadPct = c.PowerMW / xavierPowerMW * 100
+	return c
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/bits"
+
+	"unimem/internal/sim"
+)
+
+// Per-device accounting and the engine-wide latency histogram. The paper
+// reports per-device normalized execution times (Fig. 19 c); these
+// counters let the harness and cmd/mgsim attribute protection costs to the
+// processing unit that paid them.
+
+// DeviceStats aggregates one device's transactions through the engine.
+type DeviceStats struct {
+	Requests uint64
+	Reads    uint64
+	Writes   uint64
+	// ReadLatencyPs accumulates read-transaction latency (issue to
+	// completion, including verification).
+	ReadLatencyPs sim.Time
+	// MaxReadLatencyPs is the worst single read.
+	MaxReadLatencyPs sim.Time
+}
+
+// MeanReadLatencyPs returns the average read latency.
+func (d *DeviceStats) MeanReadLatencyPs() float64 {
+	if d.Reads == 0 {
+		return 0
+	}
+	return float64(d.ReadLatencyPs) / float64(d.Reads)
+}
+
+// latencyBuckets is the histogram resolution: bucket i holds reads with
+// latency in [2^i, 2^(i+1)) nanoseconds; the last bucket is open-ended.
+const latencyBuckets = 24
+
+// LatencyHistogram is a power-of-two histogram of read latencies.
+type LatencyHistogram [latencyBuckets]uint64
+
+// Add records one latency.
+func (h *LatencyHistogram) Add(d sim.Time) {
+	ns := uint64(d) / 1000
+	b := bits.Len64(ns)
+	if b >= latencyBuckets {
+		b = latencyBuckets - 1
+	}
+	h[b]++
+}
+
+// Total returns the number of recorded samples.
+func (h *LatencyHistogram) Total() uint64 {
+	var t uint64
+	for _, v := range h {
+		t += v
+	}
+	return t
+}
+
+// Percentile returns an upper bound of the p-th percentile latency in
+// nanoseconds (bucket resolution).
+func (h *LatencyHistogram) Percentile(p float64) uint64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	want := uint64(p / 100 * float64(total))
+	if want == 0 {
+		want = 1
+	}
+	var seen uint64
+	for i, v := range h {
+		seen += v
+		if seen >= want {
+			return 1 << uint(i) // upper bound of bucket i-1 span
+		}
+	}
+	return 1 << (latencyBuckets - 1)
+}
+
+// DeviceStats returns device i's accounting (zero value out of range).
+func (e *Engine) DeviceStats(i int) DeviceStats {
+	if i < 0 || i >= len(e.perDev) {
+		return DeviceStats{}
+	}
+	return e.perDev[i]
+}
+
+// Latencies exposes the read-latency histogram.
+func (e *Engine) Latencies() *LatencyHistogram { return &e.lat }
+
+func (e *Engine) recordIssue(r Request) {
+	if r.Device >= 0 && r.Device < len(e.perDev) {
+		d := &e.perDev[r.Device]
+		d.Requests++
+		if r.Write {
+			d.Writes++
+		} else {
+			d.Reads++
+		}
+	}
+}
+
+func (e *Engine) recordReadLatency(dev int, d sim.Time) {
+	e.lat.Add(d)
+	if dev >= 0 && dev < len(e.perDev) {
+		s := &e.perDev[dev]
+		s.ReadLatencyPs += d
+		if d > s.MaxReadLatencyPs {
+			s.MaxReadLatencyPs = d
+		}
+	}
+}

@@ -1,0 +1,412 @@
+package core
+
+import (
+	"unimem/internal/mem"
+	"unimem/internal/meta"
+	"unimem/internal/sim"
+	"unimem/internal/tree"
+)
+
+// join gathers the completion of a set of parallel memory operations and
+// fires once, at the latest completion time, after Seal is called.
+type join struct {
+	se      *sim.Engine
+	pending int
+	sealed  bool
+	latest  sim.Time
+	fn      func(sim.Time)
+}
+
+func newJoin(se *sim.Engine, fn func(sim.Time)) *join {
+	return &join{se: se, fn: fn}
+}
+
+// Add reserves one completion slot and returns its callback.
+func (j *join) Add() func(sim.Time) {
+	j.pending++
+	return func(at sim.Time) {
+		if at > j.latest {
+			j.latest = at
+		}
+		j.pending--
+		j.maybeFire()
+	}
+}
+
+// Seal marks that no more slots will be added; when everything already
+// completed (or nothing was added) the join fires immediately.
+func (j *join) Seal() {
+	j.sealed = true
+	j.maybeFire()
+}
+
+func (j *join) maybeFire() {
+	if j.sealed && j.pending == 0 {
+		at := j.latest
+		if at < j.se.Now() {
+			at = j.se.Now()
+		}
+		j.fn(at)
+	}
+}
+
+// Submit runs one transaction through the protection pipeline (Fig. 8) and
+// calls done at its completion time. Requests crossing 32KB chunk
+// boundaries are split, because granularity is tracked per chunk.
+func (e *Engine) Submit(r Request, done func(sim.Time)) {
+	if r.Size <= 0 {
+		r.Size = meta.BlockSize
+	}
+	end := r.Addr + uint64(r.Size)
+	if meta.ChunkIndex(r.Addr) == meta.ChunkIndex(end-1) {
+		e.submitChunk(r, done)
+		return
+	}
+	j := newJoin(e.se, done)
+	for addr := r.Addr; addr < end; {
+		spanEnd := meta.ChunkBase(addr) + meta.ChunkSize
+		if spanEnd > end {
+			spanEnd = end
+		}
+		sub := Request{Device: r.Device, Addr: addr, Size: int(spanEnd - addr), Write: r.Write}
+		e.submitChunk(sub, j.Add())
+		addr = spanEnd
+	}
+	j.Seal()
+}
+
+// submitChunk handles a transaction confined to one 32KB chunk.
+func (e *Engine) submitChunk(r Request, done func(sim.Time)) {
+	e.Stats.Requests++
+	e.recordIssue(r)
+	if r.Write {
+		e.Stats.Writes++
+	} else {
+		e.Stats.Reads++
+		issued := e.se.Now()
+		next := done
+		done = func(at sim.Time) {
+			e.recordReadLatency(r.Device, at-issued)
+			next(at)
+		}
+	}
+
+	if !e.pol.protect {
+		if r.Write {
+			e.mm.Write(r.Addr, r.Size, mem.Data, done)
+		} else {
+			e.mm.Read(r.Addr, r.Size, mem.Data, done)
+		}
+		return
+	}
+
+	now := e.se.Now()
+	chunk := meta.ChunkIndex(r.Addr)
+	chunkBase := meta.ChunkBase(r.Addr)
+
+	// Serialized fetch chain: the latency-critical walk of the first unit
+	// plus a granularity-table miss in front of it.
+	var serial []fetchOp
+
+	complete := newJoin(e.se, func(at sim.Time) {
+		fin := at + e.cryptoPs
+		e.se.At(fin, func() { done(fin) })
+	})
+
+	// 1. Granularity-table lookup (section 4.4: the table lives in a
+	// protected region; its high locality makes this cheap). On a GT-cache
+	// miss the engine proceeds speculatively with the predicted (cached
+	// default) granularity and validates when the entry arrives, so the
+	// fetch consumes bandwidth but joins the parallel set rather than the
+	// serialized walk.
+	if e.pol.useTable {
+		gtAddr := e.geom.GTEntryAddr(chunk)
+		hit, wb := e.gtCache.Access(gtAddr, false)
+		if wb {
+			e.mm.Write(gtAddr, 64, mem.GranTable, nil)
+		}
+		if !hit {
+			e.mm.Read(gtAddr, 64, mem.GranTable, complete.Add())
+		}
+	}
+
+	// 2. Lazy granularity switching for covered units (Table 2 costs).
+	// Pending detections from *earlier* requests commit here.
+	if e.table != nil && !e.pol.oracle {
+		e.handleSwitches(r, chunk, chunkBase, complete)
+	}
+
+	// 3. Access tracking and granularity detection. Detections land in the
+	// table as "next" and apply lazily on a later access.
+	if e.pol.detect {
+		for _, det := range e.trk.AccessRange(r.Addr, r.Size, now) {
+			e.applyDetection(det)
+		}
+	}
+
+	// 4. Resolve protection units and their encodings.
+	var sp meta.StreamPart
+	if e.table != nil {
+		sp = e.table.Current(chunk)
+	}
+	ctrGran, macGran := e.granPolicies(r.Device)
+
+	// 5. Data span. A coarse unit needs its whole data for verification
+	// (nested MAC) and for read-modify-write, but bulk streams deliver the
+	// unit across consecutive requests: the open-unit buffer tracks units
+	// under streaming verification. A request that starts at the unit base
+	// opens the unit (the stream will supply the rest); requests hitting an
+	// open unit continue it; only a cold, unaligned access into a coarse
+	// unit — a misprediction in the paper's terms — pays the whole-unit
+	// fetch.
+	lo, hi := r.Addr, r.Addr+uint64(r.Size)
+	rmwWrite := false // whole-unit write-back needed (static schemes only)
+	expand := func(u unitSpan, fineMACFallback bool) {
+		if u.gran == meta.Gran64 {
+			return
+		}
+		unitEnd := u.base + u.gran.Bytes()
+		covers := r.Addr <= u.base && r.Addr+uint64(r.Size) >= unitEnd
+		if covers {
+			return
+		}
+		if hit, _ := e.openUnits.Access(u.base, false); hit {
+			return // streaming continuation: already fetched/buffered
+		}
+		if r.Addr == u.base {
+			return // stream start: the unit fills as the stream proceeds
+		}
+		if r.Size >= int(u.gran.Bytes())/meta.Arity && r.Addr%uint64(r.Size) == 0 {
+			// A naturally aligned bulk transaction covering at least one
+			// arity-slice of the unit is a stream member, not a stray
+			// probe: open the unit and verify as the stream completes.
+			return
+		}
+		// Misprediction: a cold unaligned access into a coarse unit. For
+		// read-only data the fine-grained MACs are retained in the
+		// unprotected region (section 4.4), so the block verifies against
+		// its fine MAC without touching the rest of the unit.
+		if fineMACFallback && !r.Write {
+			unitMask := partMask(chunkBase, u.base, int(u.gran.Bytes()))
+			if e.writtenParts[chunk]&unitMask == 0 {
+				fineLine := e.geom.MACLineAddr(chunk, int((r.Addr-chunkBase)/meta.BlockSize))
+				e.mm.Read(fineLine, 64, mem.MAC, complete.Add())
+				return
+			}
+		}
+		// Written data: fetch the covering unit to re-verify/re-seal.
+		if u.base < lo {
+			lo = u.base
+		}
+		if unitEnd > hi {
+			hi = unitEnd
+		}
+		// Misprediction handler (section 4.4): having paid the whole-unit
+		// fetch, the unit scales down immediately so repeated fine access
+		// does not pay it again; the tracker re-promotes if streaming
+		// resumes. Scale-down retains the counter value (Fig. 13 b), so the
+		// existing ciphertext stays valid: the unit is read (to recompute
+		// fine MACs) but not rewritten. Schemes without a granularity table
+		// must instead re-encrypt the whole unit under the bumped shared
+		// counter — the full read-modify-write.
+		if r.Write && (e.table == nil || e.pol.oracle) {
+			rmwWrite = true
+		}
+		if e.table != nil && !e.pol.oracle {
+			firstPart := (u.base - chunkBase) / meta.PartitionSize
+			parts := u.gran.Blocks() / meta.BlocksPerPartition
+			cur := e.table.Current(chunk).DemoteMask(int(firstPart), parts)
+			e.table.SetNext(chunk, cur)
+			e.table.CommitAll(chunk)
+			e.Stats.Switches.MACDownRW++
+		}
+	}
+	// The retained-fine-MAC optimization belongs to the dynamic
+	// multi-granular MAC designs (ours and Adaptive [56]); the static
+	// strawman lacks it (its Fig. 6 penalty).
+	fallback := e.pol.multiMAC
+	e.forUnits(sp, chunkBase, r, macGran, func(u unitSpan) { expand(u, fallback) })
+	if r.Write {
+		e.forUnits(sp, chunkBase, r, ctrGran, func(u unitSpan) { expand(u, false) })
+	}
+	overBeats := (int(hi-lo) - r.Size) / meta.BlockSize
+	if overBeats > 0 {
+		e.Stats.OverfetchBeats += uint64(overBeats)
+	}
+
+	// 6. Counter path: the first unit's tree walk is the serialized
+	// validation path; sibling units' fetches proceed in parallel.
+	first := true
+	e.forUnits(sp, chunkBase, r, ctrGran, func(u unitSpan) {
+		if e.pol.noCTR {
+			return // Fig. 5 breakdown scheme: MACs without counters
+		}
+		if e.pol.commonCTR && e.shared[chunk] {
+			e.Stats.SharedCTRHits++
+			return // treeless on-chip shared counter
+		}
+		blockIdx := meta.BlockIndex(u.base)
+		walk := e.walkUnit(blockIdx, u.gran, r.Write)
+		e.Stats.WalkLevels += uint64(walk.Levels)
+		if walk.Pruned {
+			e.Stats.PrunedWalks++
+		}
+		if walk.SubtreeHit {
+			e.Stats.SubtreeHits++
+		}
+		for wbI := 0; wbI < walk.Writebacks; wbI++ {
+			e.mm.Write(e.geom.CounterLineAddr(0, blockIdx), 64, mem.Counter, nil)
+		}
+		if first && !r.Write {
+			for _, a := range walk.Fetches {
+				serial = append(serial, fetchOp{addr: a, kind: mem.Counter})
+			}
+		} else {
+			for _, a := range walk.Fetches {
+				e.mm.Read(a, 64, mem.Counter, complete.Add())
+			}
+		}
+		first = false
+	})
+
+	// 7. MAC path: one cacheline per needed MAC line, in parallel.
+	var lastLine uint64 = ^uint64(0)
+	e.forUnits(sp, chunkBase, r, macGran, func(u unitSpan) {
+		lineAddr := e.macLineFor(chunk, chunkBase, sp, u, macGran)
+		if lineAddr != lastLine {
+			lastLine = lineAddr
+			hit, wb := e.macCache.Access(lineAddr, r.Write)
+			if wb {
+				e.mm.Write(lineAddr, 64, mem.MAC, nil)
+			}
+			if !hit {
+				e.mm.Read(lineAddr, 64, mem.MAC, complete.Add())
+			}
+			if e.pol.doubleStore && r.Write && u.gran > meta.Gran64 {
+				// Adaptive stores both granularities on update.
+				e.mm.Write(lineAddr, 64, mem.MAC, nil)
+			}
+		}
+		if u.gran > meta.Gran64 {
+			e.openUnits.Access(u.base, false) // unit now verified/open
+		}
+	})
+
+	// 8. Data transfer and completion.
+	size := int(hi - lo)
+	if r.Write {
+		if overBeats > 0 {
+			// Sub-unit write: fetch the covering unit (MAC recompute, and
+			// old plaintext when re-encrypting).
+			e.mm.Read(lo, size, mem.Data, complete.Add())
+		}
+		if rmwWrite {
+			e.mm.Write(lo, size, mem.Data, complete.Add())
+		} else {
+			e.mm.Write(r.Addr, r.Size, mem.Data, complete.Add())
+		}
+		e.writtenParts[chunk] |= partMask(chunkBase, r.Addr, r.Size)
+		if e.walker != nil {
+			e.walker.MarkTouched(meta.BlockIndex(r.Addr))
+		}
+	} else {
+		e.mm.Read(lo, size, mem.Data, complete.Add())
+	}
+	e.lastWrite[chunk] = r.Write
+
+	// Launch the serialized chain, then seal the join.
+	if len(serial) > 0 {
+		fin := complete.Add()
+		e.issueSerial(serial, fin)
+	}
+	complete.Seal()
+}
+
+type fetchOp struct {
+	addr uint64
+	kind mem.Kind
+}
+
+// issueSerial reads fetch operations one after another — each level of the
+// validation path depends on the one above it.
+func (e *Engine) issueSerial(ops []fetchOp, then func(sim.Time)) {
+	if len(ops) == 0 {
+		then(e.se.Now())
+		return
+	}
+	e.mm.Read(ops[0].addr, 64, ops[0].kind, func(at sim.Time) {
+		e.issueSerial(ops[1:], then)
+	})
+}
+
+// walkUnit runs the tree walk for one unit.
+func (e *Engine) walkUnit(blockIdx uint64, g meta.Gran, write bool) tree.Walk {
+	if write {
+		return e.walker.Write(blockIdx, g.Level())
+	}
+	return e.walker.Read(blockIdx, g.Level())
+}
+
+// granPolicies returns the unit-granularity rule for the counter and MAC
+// sides of this request under the configured scheme.
+func (e *Engine) granPolicies(device int) (ctr, mac granRule) {
+	switch {
+	case e.pol.static:
+		g := meta.Gran64
+		if device < len(e.opts.StaticGran) {
+			g = e.opts.StaticGran[device]
+		}
+		return granRule{fixed: true, gran: g}, granRule{fixed: true, gran: g}
+	default:
+		ctr = granRule{fixed: true, gran: meta.Gran64}
+		mac = granRule{fixed: true, gran: meta.Gran64}
+		if e.pol.multiCTR {
+			ctr = granRule{table: true, cap: meta.Gran32K}
+		}
+		if e.pol.multiMAC {
+			mac = granRule{table: true, cap: e.pol.macGranCap}
+		}
+		return ctr, mac
+	}
+}
+
+// granRule describes how units are derived for one metadata side.
+type granRule struct {
+	fixed bool
+	gran  meta.Gran
+	table bool
+	cap   meta.Gran
+}
+
+// forUnits visits the units of a request under a granularity rule.
+func (e *Engine) forUnits(sp meta.StreamPart, chunkBase uint64, r Request, rule granRule, fn func(unitSpan)) {
+	if rule.fixed {
+		forEachFixed(rule.gran, r.Addr, r.Size, fn)
+		return
+	}
+	forEachUnit(sp, chunkBase, r.Addr, r.Size, rule.cap, fn)
+}
+
+// macLineFor resolves the 64B MAC line for a unit. Schemes with compacted
+// multi-granular MACs (Ours family) use the Fig. 9 layout through the
+// stream-part encoding; fixed and capped schemes use the flat per-block
+// layout (slot = block index within chunk).
+func (e *Engine) macLineFor(chunk uint64, chunkBase uint64, sp meta.StreamPart, u unitSpan, rule granRule) uint64 {
+	if rule.table && rule.cap == meta.Gran32K {
+		addr, _ := e.geom.MACAddrFor(u.base, sp)
+		return addr &^ 63
+	}
+	slot := int((u.base - chunkBase) / meta.BlockSize)
+	return e.geom.MACLineAddr(chunk, slot)
+}
+
+// partMask returns the chunk-relative partition bits covered by a span.
+func partMask(chunkBase, addr uint64, size int) uint64 {
+	first := meta.PartIndex(addr)
+	last := meta.PartIndex(addr + uint64(size) - 1)
+	var m uint64
+	for p := first; p <= last; p++ {
+		m |= 1 << uint(p)
+	}
+	return m
+}

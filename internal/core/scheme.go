@@ -1,0 +1,154 @@
+// Package core implements the timing model of the unified memory-protection
+// engine — the paper's contribution. Every LLC-miss request from a device
+// flows through Submit (the Fig. 8 pipeline): granularity lookup, data
+// fetch, counter-tree walk, MAC fetch, and crypto latency; dirty-eviction
+// writes update the tree to the root (Fig. 14); lazy granularity switching
+// charges the Table 2 costs. The scheme matrix of Table 5 (plus the
+// ablations of Fig. 6 and Fig. 20) is expressed as a policy over the same
+// pipeline.
+package core
+
+import "unimem/internal/meta"
+
+// Scheme selects one simulated protection scheme (paper Table 5).
+type Scheme int
+
+// Simulation schemes. The first group reproduces Table 5; the second the
+// ablations used by Fig. 6 and Fig. 20.
+const (
+	// Unsecure disables memory protection entirely.
+	Unsecure Scheme = iota
+	// Conventional is the fixed 64B-granular counter + MAC baseline.
+	Conventional
+	// StaticDeviceBest applies the best static per-device granularity for
+	// both counters and MACs (found by exhaustive search in the harness).
+	StaticDeviceBest
+	// MultiCTROnly uses dynamic multi-granular counters with fixed 64B
+	// MACs.
+	MultiCTROnly
+	// Ours is the paper's multi-granular MAC&tree: dynamic multi-granular
+	// counters and MACs with lazy switching.
+	Ours
+	// Adaptive models Yuan et al. [56]: fixed 64B counters, dual-granular
+	// (64B/4KB) MACs with both granularities stored.
+	Adaptive
+	// CommonCTR models Na et al. [35]: dual-granular (64B/32KB) counters
+	// with a limited set of 16 treeless shared counters, fixed 64B MACs.
+	CommonCTR
+	// BMFUnused is Conventional plus subtree-root caching (BMF) and
+	// unused-region pruning (PENGLAI).
+	BMFUnused
+	// BMFUnusedOurs combines Ours with the subtree optimizations.
+	BMFUnusedOurs
+	// OursDual restricts Ours to dual granularity (64B/32KB), the Fig. 20
+	// ablation.
+	OursDual
+	// OursNoSwitch is Ours with free granularity switching (perfect
+	// prediction), the Fig. 20 ablation.
+	OursNoSwitch
+	// BMFUnusedOursNoSwitch combines BMFUnusedOurs with free switching.
+	BMFUnusedOursNoSwitch
+	// PerPartitionOracle replays a pre-detected granularity table with
+	// detection and switching disabled (Fig. 6 "Per-partition-best").
+	PerPartitionOracle
+	// MACOnly protects with fixed 64B MACs but no counters or integrity
+	// tree — the intermediate bar of the Fig. 5 overhead breakdown
+	// (+Cost(MAC) without +Cost(counter)).
+	MACOnly
+	nSchemes
+)
+
+// Schemes lists every scheme.
+var Schemes = []Scheme{
+	Unsecure, Conventional, StaticDeviceBest, MultiCTROnly, Ours,
+	Adaptive, CommonCTR, BMFUnused, BMFUnusedOurs,
+	OursDual, OursNoSwitch, BMFUnusedOursNoSwitch, PerPartitionOracle,
+	MACOnly,
+}
+
+// String returns the Table 5 name.
+func (s Scheme) String() string {
+	switch s {
+	case Unsecure:
+		return "Unsecure"
+	case Conventional:
+		return "Conventional"
+	case StaticDeviceBest:
+		return "Static-device-best"
+	case MultiCTROnly:
+		return "Multi(CTR)-only"
+	case Ours:
+		return "Ours"
+	case Adaptive:
+		return "Adaptive"
+	case CommonCTR:
+		return "CommonCTR"
+	case BMFUnused:
+		return "BMF&Unused"
+	case BMFUnusedOurs:
+		return "BMF&Unused+Ours"
+	case OursDual:
+		return "Ours(dual)"
+	case OursNoSwitch:
+		return "Ours w/o Switch.Overhead"
+	case BMFUnusedOursNoSwitch:
+		return "BMF&Unused+Ours w/o Switch.Overhead"
+	case PerPartitionOracle:
+		return "Per-partition-best"
+	case MACOnly:
+		return "MAC-only"
+	}
+	return "unknown"
+}
+
+// policy is the behavioural decomposition of a scheme.
+type policy struct {
+	protect     bool // counters+MACs exist at all
+	useTable    bool // granularity table consulted
+	detect      bool // access tracker feeds the table
+	multiCTR    bool // counters follow the table's granularity
+	multiMAC    bool // MACs follow the table's granularity
+	dualOnly    bool // detections restricted to {64B, 32KB}
+	macGranCap  meta.Gran
+	noCTR       bool // MACs only, no counters/tree (Fig. 5 breakdown)
+	subtree     bool // BMF root caching + PENGLAI unused pruning
+	freeSwitch  bool // granularity switches charge nothing (perfect pred.)
+	commonCTR   bool // limited treeless shared counters instead of tree opt
+	static      bool // per-device static granularity
+	doubleStore bool // Adaptive stores coarse and fine MACs
+	oracle      bool // table preloaded, detection off
+}
+
+func policyFor(s Scheme) policy {
+	switch s {
+	case Unsecure:
+		return policy{}
+	case Conventional:
+		return policy{protect: true, macGranCap: meta.Gran32K}
+	case StaticDeviceBest:
+		return policy{protect: true, static: true, macGranCap: meta.Gran32K}
+	case MultiCTROnly:
+		return policy{protect: true, useTable: true, detect: true, multiCTR: true, macGranCap: meta.Gran32K}
+	case Ours:
+		return policy{protect: true, useTable: true, detect: true, multiCTR: true, multiMAC: true, macGranCap: meta.Gran32K}
+	case Adaptive:
+		return policy{protect: true, useTable: true, detect: true, multiMAC: true, macGranCap: meta.Gran4K, doubleStore: true}
+	case CommonCTR:
+		return policy{protect: true, useTable: true, detect: true, dualOnly: true, commonCTR: true, macGranCap: meta.Gran32K}
+	case BMFUnused:
+		return policy{protect: true, subtree: true, macGranCap: meta.Gran32K}
+	case BMFUnusedOurs:
+		return policy{protect: true, useTable: true, detect: true, multiCTR: true, multiMAC: true, subtree: true, macGranCap: meta.Gran32K}
+	case OursDual:
+		return policy{protect: true, useTable: true, detect: true, multiCTR: true, multiMAC: true, dualOnly: true, macGranCap: meta.Gran32K}
+	case OursNoSwitch:
+		return policy{protect: true, useTable: true, detect: true, multiCTR: true, multiMAC: true, freeSwitch: true, macGranCap: meta.Gran32K}
+	case BMFUnusedOursNoSwitch:
+		return policy{protect: true, useTable: true, detect: true, multiCTR: true, multiMAC: true, subtree: true, freeSwitch: true, macGranCap: meta.Gran32K}
+	case PerPartitionOracle:
+		return policy{protect: true, useTable: true, multiCTR: true, multiMAC: true, freeSwitch: true, oracle: true, macGranCap: meta.Gran32K}
+	case MACOnly:
+		return policy{protect: true, noCTR: true, macGranCap: meta.Gran32K}
+	}
+	panic("core: unknown scheme")
+}

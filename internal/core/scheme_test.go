@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"unimem/internal/mem"
+	"unimem/internal/meta"
+	"unimem/internal/sim"
+)
+
+// TestPolicyMatrix pins the behavioural decomposition of every scheme:
+// changing a policy flag must be a deliberate act.
+func TestPolicyMatrix(t *testing.T) {
+	cases := []struct {
+		s    Scheme
+		want policy
+	}{
+		{Unsecure, policy{}},
+		{Conventional, policy{protect: true, macGranCap: meta.Gran32K}},
+		{StaticDeviceBest, policy{protect: true, static: true, macGranCap: meta.Gran32K}},
+		{MultiCTROnly, policy{protect: true, useTable: true, detect: true, multiCTR: true, macGranCap: meta.Gran32K}},
+		{Ours, policy{protect: true, useTable: true, detect: true, multiCTR: true, multiMAC: true, macGranCap: meta.Gran32K}},
+		{Adaptive, policy{protect: true, useTable: true, detect: true, multiMAC: true, macGranCap: meta.Gran4K, doubleStore: true}},
+		{CommonCTR, policy{protect: true, useTable: true, detect: true, dualOnly: true, commonCTR: true, macGranCap: meta.Gran32K}},
+		{BMFUnused, policy{protect: true, subtree: true, macGranCap: meta.Gran32K}},
+		{BMFUnusedOurs, policy{protect: true, useTable: true, detect: true, multiCTR: true, multiMAC: true, subtree: true, macGranCap: meta.Gran32K}},
+		{OursDual, policy{protect: true, useTable: true, detect: true, multiCTR: true, multiMAC: true, dualOnly: true, macGranCap: meta.Gran32K}},
+		{OursNoSwitch, policy{protect: true, useTable: true, detect: true, multiCTR: true, multiMAC: true, freeSwitch: true, macGranCap: meta.Gran32K}},
+		{BMFUnusedOursNoSwitch, policy{protect: true, useTable: true, detect: true, multiCTR: true, multiMAC: true, subtree: true, freeSwitch: true, macGranCap: meta.Gran32K}},
+		{PerPartitionOracle, policy{protect: true, useTable: true, multiCTR: true, multiMAC: true, freeSwitch: true, oracle: true, macGranCap: meta.Gran32K}},
+		{MACOnly, policy{protect: true, noCTR: true, macGranCap: meta.Gran32K}},
+	}
+	for _, c := range cases {
+		if got := policyFor(c.s); got != c.want {
+			t.Errorf("%v policy = %+v, want %+v", c.s, got, c.want)
+		}
+	}
+	if len(cases) != len(Schemes) {
+		t.Fatalf("policy matrix covers %d schemes, registry has %d", len(cases), len(Schemes))
+	}
+}
+
+func TestUnknownSchemePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("policyFor(nSchemes) did not panic")
+		}
+	}()
+	policyFor(nSchemes)
+}
+
+// TestEverySchemeServesBulkAndFine drives every scheme through a mixed
+// request pattern and checks basic conservation: all requests complete,
+// data read beats at least cover the requested bytes, and protected
+// schemes move metadata.
+func TestEverySchemeServesBulkAndFine(t *testing.T) {
+	for _, s := range Schemes {
+		opts := Options{}
+		if s == StaticDeviceBest {
+			opts.StaticGran = []meta.Gran{meta.Gran4K}
+		}
+		r := newRig(s, opts)
+		reqs := []Request{
+			{Addr: 0, Size: meta.ChunkSize},              // bulk read
+			{Addr: 0, Size: meta.ChunkSize, Write: true}, // bulk write
+			{Addr: 64, Size: 64},                         // fine read
+			{Addr: meta.ChunkSize + 512, Size: 64, Write: true},
+			{Addr: 2*meta.ChunkSize - 64, Size: 128}, // crosses chunks
+		}
+		done := 0
+		for _, req := range reqs {
+			r.en.Submit(req, func(sim.Time) { done++ })
+		}
+		r.se.RunAll()
+		if done != len(reqs) {
+			t.Errorf("%v: %d/%d requests completed", s, done, len(reqs))
+		}
+		wantBeats := uint64((meta.ChunkSize + 64 + 128) / 64)
+		if got := r.mm.Stats.Reads[mem.Data]; got < wantBeats {
+			t.Errorf("%v: data read beats %d < requested %d", s, got, wantBeats)
+		}
+		if s != Unsecure && r.mm.Stats.MetadataBytes() == 0 {
+			t.Errorf("%v: protected scheme moved no metadata", s)
+		}
+		if s == Unsecure && r.mm.Stats.MetadataBytes() != 0 {
+			t.Errorf("unsecure moved metadata")
+		}
+	}
+}
+
+// TestWalkDepthPerGranularity pins Eq. 2: the promoted start level prunes
+// exactly gran.Level() levels off a cold walk.
+func TestWalkDepthPerGranularity(t *testing.T) {
+	for _, g := range meta.Grans {
+		tbl := meta.NewTable()
+		var sp meta.StreamPart
+		switch g {
+		case meta.Gran64:
+			sp = 0
+		case meta.Gran512:
+			sp = meta.StreamPart(0b1)
+		case meta.Gran4K:
+			sp = meta.StreamPart(0xff)
+		case meta.Gran32K:
+			sp = meta.AllStream
+		}
+		tbl.SetNext(0, sp)
+		tbl.CommitAll(0)
+		r := newRig(PerPartitionOracle, Options{FixedTable: tbl})
+		r.do(Request{Addr: 0, Size: int(g.Bytes())})
+		want := r.en.Geometry().WalkLen(g)
+		if got := int(r.en.Stats.WalkLevels); got != want {
+			t.Errorf("%v: cold walk %d levels, want %d", g, got, want)
+		}
+	}
+}
+
+// TestMACLinesPerGranularity pins the Fig. 9 compaction: reading the
+// first 4KB of a chunk touches 8 MAC lines fine-grained, 2 lines under
+// the mixed 512B encoding (7 coarse + 8 fine slots), and 1 line at
+// 4KB or 32KB granularity.
+func TestMACLinesPerGranularity(t *testing.T) {
+	// 0x7f per group: partitions 0-6 stream (512B units), partition 7 fine.
+	var mixed512 meta.StreamPart
+	for g := 0; g < 8; g++ {
+		mixed512 |= meta.StreamPart(0x7f) << (uint(g) * 8)
+	}
+	cases := []struct {
+		name  string
+		sp    meta.StreamPart
+		lines uint64
+	}{
+		{"fine", 0, 8},              // 64 fine slots = 8 lines
+		{"512B-mixed", mixed512, 2}, // 15 slots = 2 lines
+		{"4KB", meta.StreamPart(0xff), 1},
+		{"32KB", meta.AllStream, 1},
+	}
+	for _, c := range cases {
+		tbl := meta.NewTable()
+		tbl.SetNext(0, c.sp)
+		tbl.CommitAll(0)
+		r := newRig(PerPartitionOracle, Options{FixedTable: tbl})
+		r.do(Request{Addr: 0, Size: 4096})
+		if got := r.mm.Stats.Reads[mem.MAC]; got != c.lines {
+			t.Errorf("%s: MAC lines %d, want %d", c.name, got, c.lines)
+		}
+	}
+}

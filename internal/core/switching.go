@@ -1,0 +1,207 @@
+package core
+
+import (
+	"unimem/internal/mem"
+	"unimem/internal/meta"
+	"unimem/internal/tracker"
+)
+
+// applyDetection routes an access-tracker detection into the scheme's
+// granularity state: the granularity table for the Ours family (restricted
+// to {64B,32KB} for dual-granularity schemes), or the limited shared-counter
+// set for CommonCTR.
+func (e *Engine) applyDetection(det tracker.Detection) {
+	e.Stats.Detections++
+	sp := det.Stream
+	// Merge by evidence: partitions not touched in the evicted window keep
+	// their previous classification (a sparse window says nothing about
+	// them). Demotions additionally need two consecutive windows of fine
+	// evidence — a single stray access into a coarse unit is served through
+	// the retained fine MACs, and reclassifying on it would thrash the
+	// granularity (and pay the Table 2 data-chunk fetch) every time the
+	// region is streamed again.
+	if e.table != nil {
+		prev := e.table.Next(det.Chunk)
+		promote := det.Stream
+		demote := det.Touched &^ det.Stream
+		// Refinement: a window that accesses only part of a coarse unit
+		// refutes that unit's granularity — unit-wide sharing of one
+		// counter/MAC only pays off when the unit is accessed as a whole.
+		// The untouched remainder collects demote votes so an
+		// over-promoted chunk settles at the granularity actually used.
+		demote |= refuteMask(prev, det.Touched)
+		votes := e.demoteVotes[det.Chunk]
+		confirmed := demote & votes
+		e.demoteVotes[det.Chunk] = (votes | demote) &^ (promote | confirmed)
+		sp = (prev | promote) &^ confirmed
+	}
+	if e.pol.dualOnly && sp != meta.AllStream {
+		sp = 0
+	}
+	if e.pol.commonCTR {
+		if sp == meta.AllStream {
+			if e.shared[det.Chunk] || len(e.shared) < e.opts.CommonCTRLimit {
+				e.shared[det.Chunk] = true
+			}
+		} else {
+			delete(e.shared, det.Chunk)
+		}
+		return
+	}
+	if e.table == nil {
+		return
+	}
+	// Lazy switching timing is identical with and without switch-cost
+	// accounting (the free-switch ablation only waives the Table 2
+	// charges), so detections always land as "next" and commit on the
+	// following access.
+	e.table.SetNext(det.Chunk, sp)
+}
+
+// refuteMask returns the partitions of coarse units (under encoding prev)
+// whose unit was touched only partially by the window — evidence the unit
+// granularity is too coarse.
+func refuteMask(prev, touched meta.StreamPart) meta.StreamPart {
+	if touched == 0 {
+		return 0
+	}
+	if prev == meta.AllStream {
+		if touched != meta.AllStream {
+			return ^touched
+		}
+		return 0
+	}
+	var out meta.StreamPart
+	for g := 0; g < 8; g++ {
+		groupMask := meta.StreamPart(0xff) << (uint(g) * 8)
+		if prev&groupMask != groupMask {
+			continue // not a 4KB unit
+		}
+		t := touched & groupMask
+		if t != 0 && t != groupMask {
+			out |= groupMask &^ touched
+		}
+	}
+	return out
+}
+
+// handleSwitches applies pending lazy granularity switches for the units a
+// request touches and charges the Table 2 costs. Requests that needed no
+// switch count as correct predictions.
+func (e *Engine) handleSwitches(r Request, chunk, chunkBase uint64, complete *join) {
+	firstPart := meta.PartIndex(r.Addr)
+	lastPart := meta.PartIndex(r.Addr + uint64(r.Size) - 1)
+	classified := false
+	switched := false
+	for p := firstPart; p <= lastPart; p++ {
+		b := p * meta.BlocksPerPartition
+		if !e.table.Pending(chunk, b) {
+			continue
+		}
+		from, to := e.table.CommitUnit(chunk, b)
+		if from == to {
+			continue
+		}
+		switched = true
+		if !e.pol.freeSwitch {
+			e.chargeSwitch(r, chunk, chunkBase, b, from, to, complete, &classified)
+		}
+		// The unit's metadata moved: stale cached lines for the old layout
+		// are dropped (models the address-computation change of Eq. 1-4).
+		e.openUnits.Invalidate(chunkBase + uint64(b)*meta.BlockSize)
+	}
+	if !switched {
+		e.Stats.Switches.Correct++
+	}
+}
+
+// chargeSwitch implements the Table 2 cost matrix for one switched unit.
+func (e *Engine) chargeSwitch(r Request, chunk, chunkBase uint64, b int, from, to meta.Gran, complete *join, classified *bool) {
+	lastW := e.lastWrite[chunk]
+	blockIdx := meta.BlockIndex(chunkBase + uint64(b)*meta.BlockSize)
+
+	// Counter / integrity-tree side.
+	if e.pol.multiCTR {
+		if to < from {
+			// Scale-down: zero additional fetches — the retained counter
+			// value means following accesses fetch what they need anyway.
+			if !*classified {
+				e.Stats.Switches.DownAll++
+			}
+		} else {
+			switch {
+			case r.Write && !lastW:
+				if !*classified {
+					e.Stats.Switches.UpWAR++
+				}
+			case r.Write && lastW:
+				if !*classified {
+					e.Stats.Switches.UpWAW++
+				}
+			default:
+				// Reads must establish the promoted counter: fetch from the
+				// parent level up to the root. After a recent write (RAW)
+				// these levels sit in the metadata cache; after reads (RAR)
+				// they are fetched from memory.
+				if !*classified {
+					if lastW {
+						e.Stats.Switches.UpRAW++
+					} else {
+						e.Stats.Switches.UpRAR++
+					}
+				}
+				walk := e.walker.Write(blockIdx, to.Level())
+				for _, a := range walk.Fetches {
+					e.mm.Read(a, 64, mem.Switch, complete.Add())
+				}
+				for i := 0; i < walk.Writebacks; i++ {
+					e.mm.Write(a64(a64Base(e, blockIdx)), 64, mem.Counter, nil)
+				}
+			}
+		}
+	}
+
+	// MAC side.
+	if e.pol.multiMAC {
+		if to < from {
+			unitMask := partMask(chunkBase, chunkBase+uint64(b&^(from.Blocks()-1))*meta.BlockSize, int(from.Bytes()))
+			readOnly := e.writtenParts[chunk]&unitMask == 0
+			if readOnly {
+				// Fine MACs of read-only data are kept in the unprotected
+				// region (section 4.4): fetch them, nothing else.
+				if !*classified {
+					e.Stats.Switches.MACDownRO++
+				}
+				lines := from.Blocks() / meta.MACsPerLine
+				if lines < 1 {
+					lines = 1
+				}
+				for i := 0; i < lines; i++ {
+					e.mm.Read(e.geom.MACLineAddr(chunk, (b+i*meta.MACsPerLine)%meta.BlocksPerChunk), 64, mem.MAC, complete.Add())
+				}
+			} else {
+				// Written data: the whole unit must be fetched to recompute
+				// fine MACs (the "Moderate" row of Table 2).
+				if !*classified {
+					e.Stats.Switches.MACDownRW++
+				}
+				base := chunkBase + uint64(b&^(from.Blocks()-1))*meta.BlockSize
+				e.mm.Read(base, int(from.Bytes()), mem.Switch, complete.Add())
+			}
+		} else {
+			if !*classified {
+				e.Stats.Switches.MACUpLazy++
+			}
+		}
+	}
+	*classified = true
+}
+
+// a64Base picks a representative counter-line address for writeback
+// traffic accounting (the evicted line's true address is not tracked by
+// the tag cache; using the walk's leaf line keeps channel balance).
+func a64Base(e *Engine, blockIdx uint64) uint64 {
+	return e.geom.CounterLineAddr(0, blockIdx)
+}
+
+func a64(a uint64) uint64 { return a &^ 63 }

@@ -1,0 +1,53 @@
+package cpu
+
+import (
+	"testing"
+
+	"unimem/internal/core"
+	"unimem/internal/mem"
+	"unimem/internal/sim"
+	"unimem/internal/workload"
+)
+
+func TestCPUDrainsAndHonorsDeps(t *testing.T) {
+	eng := sim.NewEngine()
+	mm := mem.New(eng, mem.OrinConfig())
+	en := core.New(eng, mm, 1<<30, core.Conventional, core.Options{})
+	gen, err := workload.ByName("mcf", 0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(eng, en, gen, 0, 0)
+	c.Start()
+	eng.RunAll()
+	if !c.Done() || c.Stats.Issued == 0 {
+		t.Fatalf("cpu did not drain: issued=%d", c.Stats.Issued)
+	}
+	// mcf's pointer chasing must produce dependence stalls.
+	if c.Stats.DepStalls == 0 {
+		t.Fatal("CPU model never stalled on dependent loads")
+	}
+	if c.Name() != "CPU/mcf" {
+		t.Fatalf("name = %q", c.Name())
+	}
+}
+
+func TestCPULatencySensitivity(t *testing.T) {
+	// The CPU must slow down under protection more than proportionally to
+	// traffic — serialized tree walks land on its critical path.
+	finish := func(s core.Scheme) sim.Time {
+		eng := sim.NewEngine()
+		mm := mem.New(eng, mem.OrinConfig())
+		en := core.New(eng, mm, 1<<30, s, core.Options{})
+		gen, _ := workload.ByName("mcf", 0.03, 1)
+		c := New(eng, en, gen, 0, 0)
+		c.Start()
+		eng.RunAll()
+		return c.FinishTime()
+	}
+	un, conv := finish(core.Unsecure), finish(core.Conventional)
+	overhead := float64(conv)/float64(un) - 1
+	if overhead < 0.2 {
+		t.Fatalf("CPU conventional overhead = %.2f, want the paper's latency-bound regime (>20%%)", overhead)
+	}
+}

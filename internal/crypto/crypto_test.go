@@ -1,0 +1,168 @@
+package crypto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	e := NewEngine(1)
+	pt := make([]byte, BlockSize)
+	for i := range pt {
+		pt[i] = byte(i * 7)
+	}
+	ct := e.Seal(0x1000, 42, pt)
+	if bytes.Equal(ct, pt) {
+		t.Fatal("ciphertext equals plaintext")
+	}
+	got := e.Open(0x1000, 42, ct)
+	if !bytes.Equal(got, pt) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestOpenWrongCounterGarbles(t *testing.T) {
+	e := NewEngine(1)
+	pt := make([]byte, BlockSize)
+	ct := e.Seal(0x1000, 42, pt)
+	if bytes.Equal(e.Open(0x1000, 43, ct), pt) {
+		t.Fatal("wrong counter decrypted correctly")
+	}
+	if bytes.Equal(e.Open(0x1040, 42, ct), pt) {
+		t.Fatal("wrong address decrypted correctly")
+	}
+}
+
+func TestOTPUniqueness(t *testing.T) {
+	e := NewEngine(7)
+	seen := map[[BlockSize]byte]string{}
+	for addr := uint64(0); addr < 4; addr++ {
+		for ctr := uint64(0); ctr < 4; ctr++ {
+			p := e.OTP(addr*64, ctr)
+			if prev, dup := seen[p]; dup {
+				t.Fatalf("OTP collision between (%d,%d) and %s", addr, ctr, prev)
+			}
+			seen[p] = "earlier pair"
+		}
+	}
+}
+
+func TestOTPDeterministic(t *testing.T) {
+	a := NewEngine(9).OTP(0x40, 5)
+	b := NewEngine(9).OTP(0x40, 5)
+	if a != b {
+		t.Fatal("same seed produced different OTPs")
+	}
+	c := NewEngine(10).OTP(0x40, 5)
+	if a == c {
+		t.Fatal("different seeds produced identical OTPs")
+	}
+}
+
+func TestBlockMACDetectsTamper(t *testing.T) {
+	e := NewEngine(3)
+	ct := make([]byte, BlockSize)
+	ct[5] = 0xaa
+	m := e.BlockMAC(0x80, 9, ct)
+	ct[5] ^= 1
+	if Equal(m, e.BlockMAC(0x80, 9, ct)) {
+		t.Fatal("single-bit tamper not reflected in MAC")
+	}
+}
+
+func TestBlockMACBindsAddressAndCounter(t *testing.T) {
+	e := NewEngine(3)
+	ct := make([]byte, BlockSize)
+	m := e.BlockMAC(0x80, 9, ct)
+	if Equal(m, e.BlockMAC(0xc0, 9, ct)) {
+		t.Fatal("MAC does not bind address (splicing possible)")
+	}
+	if Equal(m, e.BlockMAC(0x80, 10, ct)) {
+		t.Fatal("MAC does not bind counter (replay possible)")
+	}
+}
+
+func TestNestedMACOrderSensitive(t *testing.T) {
+	e := NewEngine(4)
+	m1 := MAC{1}
+	m2 := MAC{2}
+	a := e.NestedMAC([]MAC{m1, m2})
+	b := e.NestedMAC([]MAC{m2, m1})
+	if Equal(a, b) {
+		t.Fatal("nested MAC ignores order")
+	}
+}
+
+func TestNestedMACSingle(t *testing.T) {
+	e := NewEngine(4)
+	m := MAC{9, 9}
+	a := e.NestedMAC([]MAC{m})
+	if Equal(a, m) {
+		t.Fatal("nested MAC of one element should still hash")
+	}
+}
+
+func TestNestedMACEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NestedMAC(nil) did not panic")
+		}
+	}()
+	NewEngine(1).NestedMAC(nil)
+}
+
+func TestNodeMACBindsEverything(t *testing.T) {
+	e := NewEngine(5)
+	ctrs := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	base := e.NodeMAC(0x1000, 77, ctrs)
+	if Equal(base, e.NodeMAC(0x1040, 77, ctrs)) {
+		t.Fatal("node MAC ignores node address")
+	}
+	if Equal(base, e.NodeMAC(0x1000, 78, ctrs)) {
+		t.Fatal("node MAC ignores parent counter")
+	}
+	ctrs[3]++
+	if Equal(base, e.NodeMAC(0x1000, 77, ctrs)) {
+		t.Fatal("node MAC ignores counter payload")
+	}
+}
+
+func TestSealWrongSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Seal with short block did not panic")
+		}
+	}()
+	NewEngine(1).Seal(0, 0, make([]byte, 32))
+}
+
+// Property: Seal then Open is identity for any block content, address and
+// counter.
+func TestSealOpenProperty(t *testing.T) {
+	e := NewEngine(11)
+	f := func(content [BlockSize]byte, addr, ctr uint64) bool {
+		ct := e.Seal(addr, ctr, content[:])
+		return bytes.Equal(e.Open(addr, ctr, ct), content[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MACs over distinct ciphertexts are distinct (no trivial
+// collisions at 64-bit truncation for random inputs).
+func TestMACDistinguishesProperty(t *testing.T) {
+	e := NewEngine(12)
+	f := func(a, b [BlockSize]byte) bool {
+		ma := e.BlockMAC(0, 0, a[:])
+		mb := e.BlockMAC(0, 0, b[:])
+		if a == b {
+			return Equal(ma, mb)
+		}
+		return !Equal(ma, mb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

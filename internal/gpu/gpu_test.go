@@ -1,0 +1,61 @@
+package gpu
+
+import (
+	"testing"
+
+	"unimem/internal/core"
+	"unimem/internal/mem"
+	"unimem/internal/sim"
+	"unimem/internal/workload"
+)
+
+func run(name string, s core.Scheme) (*GPU, *mem.Memory) {
+	eng := sim.NewEngine()
+	mm := mem.New(eng, mem.OrinConfig())
+	en := core.New(eng, mm, 1<<30, s, core.Options{})
+	gen, err := workload.ByName(name, 0.03, 1)
+	if err != nil {
+		panic(err)
+	}
+	g := New(eng, en, gen, 1, 0)
+	g.Start()
+	eng.RunAll()
+	return g, mm
+}
+
+func TestGPUDrains(t *testing.T) {
+	g, mm := run("mm", core.Conventional)
+	if !g.Done() || g.Stats.Issued == 0 {
+		t.Fatal("gpu did not drain")
+	}
+	if mm.Stats.Bytes() == 0 {
+		t.Fatal("no traffic")
+	}
+	if g.Name() != "GPU/mm" {
+		t.Fatalf("name = %q", g.Name())
+	}
+}
+
+func TestGPUKernelBarriers(t *testing.T) {
+	g, _ := run("pr", core.Unsecure)
+	if g.Stats.Issued > BarrierEvery && g.Stats.Barriers == 0 {
+		t.Fatal("long GPU run produced no kernel barriers")
+	}
+}
+
+func TestGPULatencyTolerance(t *testing.T) {
+	// The GPU's wide window hides verification latency: its protection
+	// overhead must stay well below the CPU's latency-bound regime.
+	finish := func(s core.Scheme) sim.Time {
+		g, _ := run("mm", s)
+		return g.FinishTime()
+	}
+	un, conv := finish(core.Unsecure), finish(core.Conventional)
+	overhead := float64(conv)/float64(un) - 1
+	if overhead > 0.6 {
+		t.Fatalf("GPU overhead = %.2f, should be bandwidth-bound (modest), not latency-bound", overhead)
+	}
+	if overhead <= 0 {
+		t.Fatal("protection was free on the GPU")
+	}
+}

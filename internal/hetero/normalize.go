@@ -1,0 +1,115 @@
+package hetero
+
+import (
+	"unimem/internal/core"
+	"unimem/internal/stats"
+)
+
+// Normalized is a scheme's outcome relative to the unsecured run — the
+// paper's primary metric (section 5.2): each device's execution time is
+// divided by its unsecured execution time, then the four are averaged.
+type Normalized struct {
+	Scenario Scenario
+	Scheme   core.Scheme
+	// PerDevice is finish(scheme)/finish(unsecure) per device.
+	PerDevice [4]float64
+	// Mean is the average of PerDevice — the "normalized execution time".
+	Mean float64
+	// TrafficRatio is total traffic relative to the unsecured run.
+	TrafficRatio float64
+	// Raw is the underlying result (security-cache misses, switches, ...).
+	Raw RunResult
+}
+
+// Normalize relates a scheme run to its unsecured baseline.
+func Normalize(res, unsecure RunResult) Normalized {
+	n := Normalized{Scenario: res.Scenario, Scheme: res.Scheme, Raw: res}
+	var xs []float64
+	for i := range res.Devices {
+		ratio := float64(res.Devices[i].FinishPs) / float64(unsecure.Devices[i].FinishPs)
+		n.PerDevice[i] = ratio
+		xs = append(xs, ratio)
+	}
+	n.Mean = stats.Mean(xs)
+	if unsecure.TotalBytes > 0 {
+		n.TrafficRatio = float64(res.TotalBytes) / float64(unsecure.TotalBytes)
+	}
+	return n
+}
+
+// SweepResult bundles one scenario's normalized results across schemes.
+type SweepResult struct {
+	Scenario Scenario
+	Unsecure RunResult
+	// ByScheme holds one normalized entry per requested scheme.
+	ByScheme map[core.Scheme]Normalized
+}
+
+// Sweep runs each scenario under the unsecured baseline plus every
+// requested scheme. This is the engine behind Figures 15-19.
+func Sweep(scs []Scenario, schemes []core.Scheme, cfg Config) []SweepResult {
+	out := make([]SweepResult, 0, len(scs))
+	for _, sc := range scs {
+		base := Run(sc, core.Unsecure, cfg)
+		sr := SweepResult{Scenario: sc, Unsecure: base, ByScheme: map[core.Scheme]Normalized{}}
+		for _, s := range schemes {
+			if s == core.Unsecure {
+				continue
+			}
+			sr.ByScheme[s] = Normalize(Run(sc, s, cfg), base)
+		}
+		out = append(out, sr)
+	}
+	return out
+}
+
+// MeanAcross returns the mean normalized execution time of a scheme over a
+// sweep.
+func MeanAcross(rs []SweepResult, s core.Scheme) float64 {
+	var xs []float64
+	for _, r := range rs {
+		if n, ok := r.ByScheme[s]; ok {
+			xs = append(xs, n.Mean)
+		}
+	}
+	return stats.Mean(xs)
+}
+
+// MeansOf extracts per-scenario normalized execution times of a scheme
+// (the Fig. 15/17 CDF inputs).
+func MeansOf(rs []SweepResult, s core.Scheme) []float64 {
+	var xs []float64
+	for _, r := range rs {
+		if n, ok := r.ByScheme[s]; ok {
+			xs = append(xs, n.Mean)
+		}
+	}
+	return xs
+}
+
+// TrafficRatioAcross returns the mean traffic ratio (vs unsecure) of a
+// scheme over a sweep.
+func TrafficRatioAcross(rs []SweepResult, s core.Scheme) float64 {
+	var xs []float64
+	for _, r := range rs {
+		if n, ok := r.ByScheme[s]; ok {
+			xs = append(xs, n.TrafficRatio)
+		}
+	}
+	return stats.Mean(xs)
+}
+
+// MissRatioAcross returns the mean security-cache-miss count of scheme s
+// relative to scheme base over a sweep (Fig. 16/18 normalize misses to a
+// reference scheme).
+func MissRatioAcross(rs []SweepResult, s, base core.Scheme) float64 {
+	var xs []float64
+	for _, r := range rs {
+		n, ok := r.ByScheme[s]
+		b, ok2 := r.ByScheme[base]
+		if ok && ok2 && b.Raw.SecCacheMisses > 0 {
+			xs = append(xs, float64(n.Raw.SecCacheMisses)/float64(b.Raw.SecCacheMisses))
+		}
+	}
+	return stats.Mean(xs)
+}

@@ -1,0 +1,151 @@
+package hetero
+
+import (
+	"fmt"
+
+	"unimem/internal/core"
+	"unimem/internal/cpu"
+	"unimem/internal/gpu"
+	"unimem/internal/mem"
+	"unimem/internal/meta"
+	"unimem/internal/npu"
+	"unimem/internal/sim"
+	"unimem/internal/workload"
+)
+
+// Stage is one step of a real-world pipeline (Table 6): a workload on a
+// device class, consuming the previous stage's output region.
+type Stage struct {
+	Class    workload.Class
+	Workload string
+	// Role documents what the stage computes (for reports).
+	Role string
+}
+
+// Pipeline is a Table 6 real-world application: stages run back to back
+// with data handed over through the shared protected memory.
+type Pipeline struct {
+	Name   string
+	Stages []Stage
+}
+
+// Finance is the Table 6 Finance pipeline:
+// GPU PageRank -> CPU route planning -> NPU recommendation.
+func Finance() Pipeline {
+	return Pipeline{Name: "Finance", Stages: []Stage{
+		{Class: workload.GPU, Workload: "pr", Role: "financial risk / commodity network"},
+		{Class: workload.CPU, Workload: "mcf", Role: "optimal asset allocation"},
+		{Class: workload.NPU, Workload: "dlrm", Role: "investment recommendation"},
+	}}
+}
+
+// AutoDrive is the Table 6 AutoDrive pipeline:
+// GPU stencil filtering -> NPU Yolo-Tiny -> CPU stream clustering.
+func AutoDrive() Pipeline {
+	return Pipeline{Name: "AutoDrive", Stages: []Stage{
+		{Class: workload.GPU, Workload: "sten", Role: "camera data filtering"},
+		{Class: workload.NPU, Workload: "yt", Role: "obstacle detection"},
+		{Class: workload.CPU, Workload: "sc", Role: "obstacle clustering"},
+	}}
+}
+
+// PipelineResult is one pipeline simulation outcome.
+type PipelineResult struct {
+	Pipeline Pipeline
+	Scheme   core.Scheme
+	// StageEndPs is each stage's completion time (cumulative).
+	StageEndPs []sim.Time
+	// TotalPs is the end-to-end execution time.
+	TotalPs sim.Time
+	// TotalBytes is total memory traffic.
+	TotalBytes uint64
+}
+
+// RunPipeline simulates the application steady state: the pipeline
+// processes a stream of inputs (frames, market ticks), so all stages are
+// active concurrently on successive inputs, contending for the shared
+// memory system behind one protection engine. Each stage works in its
+// device's region (handoff buffers are a small part of a stage's working
+// set; modelling full address sharing would make every chunk a
+// cross-device granularity conflict, which the paper's scenarios do not
+// exhibit).
+func RunPipeline(p Pipeline, scheme core.Scheme, cfg Config) PipelineResult {
+	cfg = cfg.filled()
+	opts := cfg.Engine
+	opts.Devices = 4
+	if scheme == core.StaticDeviceBest && opts.StaticGran == nil {
+		// Per-device static granularity from standalone search per stage
+		// class (device indexes: CPU 0, GPU 1, NPU 2).
+		opts.StaticGran = bestStaticForPipeline(p, cfg)
+	}
+	eng := sim.NewEngine()
+	mm := mem.New(eng, *cfg.Mem)
+	en := core.New(eng, mm, cfg.RegionBytes, scheme, opts)
+
+	res := PipelineResult{Pipeline: p, Scheme: scheme}
+	var devs []device
+	for i, st := range p.Stages {
+		gen, err := workload.ByName(st.Workload, cfg.Scale, cfg.Seed+uint64(i)*104729)
+		if err != nil {
+			panic(err)
+		}
+		idx := deviceIndexFor(st.Class)
+		base := uint64(idx) * deviceStride
+		var d device
+		switch st.Class {
+		case workload.CPU:
+			d = cpu.New(eng, en, gen, idx, base)
+		case workload.GPU:
+			d = gpu.New(eng, en, gen, idx, base)
+		default:
+			d = npu.New(eng, en, gen, idx, base)
+		}
+		devs = append(devs, d)
+		d.Start()
+	}
+	eng.RunAll()
+	en.Finish()
+	for i, d := range devs {
+		if !d.Done() {
+			panic(fmt.Sprintf("hetero: pipeline stage %s never drained", p.Stages[i].Workload))
+		}
+		res.StageEndPs = append(res.StageEndPs, d.FinishTime())
+	}
+	res.TotalPs = eng.Now()
+	res.TotalBytes = mm.Stats.Bytes()
+	return res
+}
+
+// NormalizedPipeline returns the mean per-stage normalized execution time
+// of a scheme against the unsecured run (the Fig. 21 metric).
+func NormalizedPipeline(p Pipeline, scheme core.Scheme, cfg Config) float64 {
+	base := RunPipeline(p, core.Unsecure, cfg)
+	res := RunPipeline(p, scheme, cfg)
+	var sum float64
+	for i := range res.StageEndPs {
+		sum += float64(res.StageEndPs[i]) / float64(base.StageEndPs[i])
+	}
+	return sum / float64(len(res.StageEndPs))
+}
+
+// bestStaticForPipeline searches the best static granularity per stage's
+// device slot (CPU index 0, GPU 1, NPU 2).
+func bestStaticForPipeline(p Pipeline, cfg Config) []meta.Gran {
+	out := make([]meta.Gran, 4)
+	for _, st := range p.Stages {
+		idx := deviceIndexFor(st.Class)
+		out[idx] = bestStaticFor(st.Workload, idx, cfg)
+	}
+	return out
+}
+
+func deviceIndexFor(c workload.Class) int {
+	switch c {
+	case workload.CPU:
+		return 0
+	case workload.GPU:
+		return 1
+	default:
+		return 2
+	}
+}

@@ -1,0 +1,349 @@
+package hetero
+
+import (
+	"fmt"
+	"sync"
+
+	"unimem/internal/core"
+	"unimem/internal/cpu"
+	"unimem/internal/gpu"
+	"unimem/internal/mem"
+	"unimem/internal/meta"
+	"unimem/internal/npu"
+	"unimem/internal/sim"
+	"unimem/internal/workload"
+)
+
+// Config controls one simulation run.
+type Config struct {
+	// Scale multiplies trace lengths (1.0 = nominal; benches use less).
+	Scale float64
+	// Seed makes runs reproducible.
+	Seed uint64
+	// RegionBytes is the protected region size (default 4GB, Table 3's
+	// memory system).
+	RegionBytes uint64
+	// Mem overrides the memory configuration (default Orin LPDDR4).
+	Mem *mem.Config
+	// Engine overrides protection-engine options.
+	Engine core.Options
+}
+
+func (c Config) filled() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.RegionBytes == 0 {
+		c.RegionBytes = 4 << 30
+	}
+	if c.Mem == nil {
+		m := mem.OrinConfig()
+		c.Mem = &m
+	}
+	return c
+}
+
+// Device region bases: each device owns a 1GB quadrant of the 4GB space.
+const deviceStride = 1 << 30
+
+// DeviceResult is one processing unit's outcome.
+type DeviceResult struct {
+	Name     string
+	Class    workload.Class
+	FinishPs sim.Time
+	Issued   uint64
+}
+
+// RunResult is one (scenario, scheme) simulation outcome.
+type RunResult struct {
+	Scenario Scenario
+	Scheme   core.Scheme
+	Devices  [4]DeviceResult
+	// TotalBytes / DataBytes / MetaBytes are memory traffic.
+	TotalBytes uint64
+	DataBytes  uint64
+	MetaBytes  uint64
+	// SecCacheMisses combines metadata/MAC/granularity-table cache misses.
+	SecCacheMisses uint64
+	Switches       core.SwitchStats
+	MeanWalk       float64
+	Detections     uint64
+	// Latency is the engine-wide read-latency histogram.
+	Latency core.LatencyHistogram
+	// EngineDev is the per-device engine accounting.
+	EngineDev [4]core.DeviceStats
+}
+
+// MaxFinish returns the scenario's wall-clock end.
+func (r *RunResult) MaxFinish() sim.Time {
+	var m sim.Time
+	for _, d := range r.Devices {
+		if d.FinishPs > m {
+			m = d.FinishPs
+		}
+	}
+	return m
+}
+
+// device abstracts the three models for the harness.
+type device interface {
+	Start()
+	Done() bool
+	FinishTime() sim.Time
+	Name() string
+}
+
+// Run simulates one scenario under one scheme.
+func Run(sc Scenario, scheme core.Scheme, cfg Config) RunResult {
+	cfg = cfg.filled()
+	opts := cfg.Engine
+	opts.Devices = 4
+	switch scheme {
+	case core.StaticDeviceBest:
+		if opts.StaticGran == nil {
+			opts.StaticGran = BestStaticGrans(sc, cfg)
+		}
+	case core.PerPartitionOracle:
+		if opts.FixedTable == nil {
+			opts.FixedTable = profileTable(sc, cfg)
+		}
+	}
+
+	eng := sim.NewEngine()
+	mm := mem.New(eng, *cfg.Mem)
+	en := core.New(eng, mm, cfg.RegionBytes, scheme, opts)
+
+	devs, classes, issued := buildDevices(eng, en, sc, cfg)
+	for _, d := range devs {
+		d.Start()
+	}
+	eng.RunAll()
+	en.Finish()
+
+	res := RunResult{Scenario: sc, Scheme: scheme}
+	for i, d := range devs {
+		if !d.Done() {
+			panic(fmt.Sprintf("hetero: device %s never drained (%s, %v)", d.Name(), sc.ID, scheme))
+		}
+		res.Devices[i] = DeviceResult{
+			Name:     d.Name(),
+			Class:    classes[i],
+			FinishPs: d.FinishTime(),
+			Issued:   issued[i](),
+		}
+	}
+	res.TotalBytes = mm.Stats.Bytes()
+	res.DataBytes = mm.Stats.BytesKind(mem.Data)
+	res.MetaBytes = mm.Stats.MetadataBytes()
+	res.SecCacheMisses = en.SecurityCacheMisses()
+	res.Switches = en.Stats.Switches
+	res.MeanWalk = en.MeanWalkLevels()
+	res.Detections = en.Stats.Detections
+	res.Latency = *en.Latencies()
+	for i := range res.EngineDev {
+		res.EngineDev[i] = en.DeviceStats(i)
+	}
+	return res
+}
+
+// buildDevices instantiates the 1 CPU + 1 GPU + 2 NPU mix.
+func buildDevices(eng *sim.Engine, en *core.Engine, sc Scenario, cfg Config) ([4]device, [4]workload.Class, [4]func() uint64) {
+	var devs [4]device
+	var classes [4]workload.Class
+	var issued [4]func() uint64
+	names := sc.Workloads()
+	for i, name := range names {
+		gen, err := workload.ByName(name, cfg.Scale, cfg.Seed+uint64(i)*7919)
+		if err != nil {
+			panic(err)
+		}
+		base := uint64(i) * deviceStride
+		switch i {
+		case 0:
+			c := cpu.New(eng, en, gen, i, base)
+			devs[i], classes[i] = c, workload.CPU
+			issued[i] = func() uint64 { return c.Stats.Issued }
+		case 1:
+			g := gpu.New(eng, en, gen, i, base)
+			devs[i], classes[i] = g, workload.GPU
+			issued[i] = func() uint64 { return g.Stats.Issued }
+		default:
+			n := npu.New(eng, en, gen, i, base)
+			devs[i], classes[i] = n, workload.NPU
+			issued[i] = func() uint64 { return n.Stats.Issued }
+		}
+	}
+	return devs, classes, issued
+}
+
+// profileTable runs the scenario once under Ours and returns the detected
+// granularity table with all pending switches committed — the
+// per-partition-best oracle of Fig. 6.
+func profileTable(sc Scenario, cfg Config) *meta.Table {
+	res := RunWithTable(sc, cfg)
+	return res
+}
+
+// RunWithTable performs the oracle profiling pass.
+func RunWithTable(sc Scenario, cfg Config) *meta.Table {
+	cfg = cfg.filled()
+	eng := sim.NewEngine()
+	mm := mem.New(eng, *cfg.Mem)
+	en := core.New(eng, mm, cfg.RegionBytes, core.Ours, core.Options{Devices: 4})
+	devs, _, _ := buildDevices(eng, en, sc, cfg)
+	for _, d := range devs {
+		d.Start()
+	}
+	eng.RunAll()
+	en.Finish()
+	return en.Table().CloneCommitted()
+}
+
+// --- static per-device exhaustive search ---------------------------------
+
+var staticBestMu sync.Mutex
+var staticBestCache = map[string]meta.Gran{}
+
+// BestStaticGrans runs each of the scenario's workloads standalone under
+// every static granularity and returns the per-device best (the
+// exhaustive warmup search the paper charges against Static-device-best).
+func BestStaticGrans(sc Scenario, cfg Config) []meta.Gran {
+	cfg = cfg.filled()
+	out := make([]meta.Gran, 4)
+	for i, name := range sc.Workloads() {
+		out[i] = bestStaticFor(name, i, cfg)
+	}
+	return out
+}
+
+func bestStaticFor(name string, index int, cfg Config) meta.Gran {
+	key := fmt.Sprintf("%s/%.3f", name, cfg.Scale)
+	staticBestMu.Lock()
+	if g, ok := staticBestCache[key]; ok {
+		staticBestMu.Unlock()
+		return g
+	}
+	staticBestMu.Unlock()
+
+	best, bestT := meta.Gran64, sim.MaxTime
+	for _, g := range meta.Grans {
+		t := staticStandaloneTime(name, index, g, cfg)
+		if t < bestT {
+			best, bestT = g, t
+		}
+	}
+	staticBestMu.Lock()
+	staticBestCache[key] = best
+	staticBestMu.Unlock()
+	return best
+}
+
+// staticStandaloneTime runs one workload alone under one static
+// granularity.
+func staticStandaloneTime(name string, index int, g meta.Gran, cfg Config) sim.Time {
+	eng := sim.NewEngine()
+	mm := mem.New(eng, *cfg.Mem)
+	static := make([]meta.Gran, 4)
+	for i := range static {
+		static[i] = g
+	}
+	en := core.New(eng, mm, cfg.RegionBytes, core.StaticDeviceBest, core.Options{Devices: 4, StaticGran: static})
+	gen, err := workload.ByName(name, cfg.Scale, cfg.Seed+uint64(index)*7919)
+	if err != nil {
+		panic(err)
+	}
+	base := uint64(index) * deviceStride
+	var d device
+	switch workload.Profiles[name].Class {
+	case workload.CPU:
+		d = cpu.New(eng, en, gen, index, base)
+	case workload.GPU:
+		d = gpu.New(eng, en, gen, index, base)
+	default:
+		d = npu.New(eng, en, gen, index, base)
+	}
+	d.Start()
+	eng.RunAll()
+	return d.FinishTime()
+}
+
+// StandaloneResult is a single-workload, single-device run outcome.
+type StandaloneResult struct {
+	Workload   string
+	Scheme     core.Scheme
+	FinishPs   sim.Time
+	TotalBytes uint64
+	MetaBytes  uint64
+	Misses     uint64
+}
+
+// RunStandalone runs one workload alone on its device class behind the
+// protection engine — the single-processing-unit methodology of Fig. 4-6.
+func RunStandalone(name string, scheme core.Scheme, cfg Config) StandaloneResult {
+	cfg = cfg.filled()
+	opts := cfg.Engine
+	opts.Devices = 4
+	index := deviceIndexFor(workload.Profiles[name].Class)
+	switch scheme {
+	case core.StaticDeviceBest:
+		if opts.StaticGran == nil {
+			static := make([]meta.Gran, 4)
+			static[index] = bestStaticFor(name, index, cfg)
+			opts.StaticGran = static
+		}
+	case core.PerPartitionOracle:
+		if opts.FixedTable == nil {
+			opts.FixedTable = profileStandalone(name, index, cfg)
+		}
+	}
+	eng := sim.NewEngine()
+	mm := mem.New(eng, *cfg.Mem)
+	en := core.New(eng, mm, cfg.RegionBytes, scheme, opts)
+	d := standaloneDevice(eng, en, name, index, cfg)
+	d.Start()
+	eng.RunAll()
+	en.Finish()
+	return StandaloneResult{
+		Workload:   name,
+		Scheme:     scheme,
+		FinishPs:   d.FinishTime(),
+		TotalBytes: mm.Stats.Bytes(),
+		MetaBytes:  mm.Stats.MetadataBytes(),
+		Misses:     en.SecurityCacheMisses(),
+	}
+}
+
+func standaloneDevice(eng *sim.Engine, en *core.Engine, name string, index int, cfg Config) device {
+	gen, err := workload.ByName(name, cfg.Scale, cfg.Seed+uint64(index)*7919)
+	if err != nil {
+		panic(err)
+	}
+	base := uint64(index) * deviceStride
+	switch workload.Profiles[name].Class {
+	case workload.CPU:
+		return cpu.New(eng, en, gen, index, base)
+	case workload.GPU:
+		return gpu.New(eng, en, gen, index, base)
+	default:
+		return npu.New(eng, en, gen, index, base)
+	}
+}
+
+// profileStandalone captures the detected granularity table of a
+// standalone Ours run (the per-partition-best oracle input of Fig. 6).
+func profileStandalone(name string, index int, cfg Config) *meta.Table {
+	eng := sim.NewEngine()
+	mm := mem.New(eng, *cfg.Mem)
+	en := core.New(eng, mm, cfg.RegionBytes, core.Ours, core.Options{Devices: 4})
+	d := standaloneDevice(eng, en, name, index, cfg)
+	d.Start()
+	eng.RunAll()
+	en.Finish()
+	return en.Table().CloneCommitted()
+}
+
+// FilledMem returns the memory configuration a run would use (the Orin
+// default unless overridden), for callers that want to tweak it.
+func (c Config) FilledMem() mem.Config {
+	return *c.filled().Mem
+}

@@ -1,0 +1,93 @@
+package mem
+
+import "unimem/internal/sim"
+
+// Bank-level DRAM modeling. When Config.BanksPerChannel is non-zero, each
+// channel is split into banks with open-row policy: a beat that hits the
+// open row pays only CAS latency, a conflict pays precharge + activate +
+// CAS. Bank-level parallelism lets independent rows overlap their
+// activations, which is what makes metadata fetches (counter lines, MAC
+// lines) cheaper when they fall in already-open rows next to the data
+// they guard.
+//
+// The flat model (BanksPerChannel == 0) remains the default for the
+// paper-reproduction figures; the bank model is exercised by tests and
+// the sensitivity benchmarks.
+
+// BankConfig extends Config with bank timing.
+type BankConfig struct {
+	// BanksPerChannel enables the bank model when > 0 (8 for LPDDR4).
+	BanksPerChannel int
+	// RowBytes is the row-buffer size (2KB for LPDDR4 x16).
+	RowBytes uint64
+	// RowHitPs is the CAS-only latency of an open-row access.
+	RowHitPs int64
+	// RowMissPs is precharge + activate + CAS for a row conflict.
+	RowMissPs int64
+}
+
+// LPDDR4Banks returns bank timing representative of LPDDR4-2400.
+func LPDDR4Banks() BankConfig {
+	return BankConfig{
+		BanksPerChannel: 8,
+		RowBytes:        2048,
+		RowHitPs:        18_000, // ~tCL
+		RowMissPs:       63_000, // ~tRP + tRCD + tCL
+	}
+}
+
+type bank struct {
+	openRow uint64
+	hasRow  bool
+	free    sim.Time
+}
+
+// bankState holds per-channel bank state.
+type bankState struct {
+	cfg   BankConfig
+	banks [][]bank // [channel][bank]
+	// Stats
+	RowHits   uint64
+	RowMisses uint64
+}
+
+func newBankState(channels int, cfg BankConfig) *bankState {
+	bs := &bankState{cfg: cfg, banks: make([][]bank, channels)}
+	for c := range bs.banks {
+		bs.banks[c] = make([]bank, cfg.BanksPerChannel)
+	}
+	return bs
+}
+
+// access returns the completion time of one 64B beat on (channel, addr)
+// starting no earlier than now, updating bank state.
+func (bs *bankState) access(ch int, addr uint64, now sim.Time) sim.Time {
+	row := addr / bs.cfg.RowBytes
+	b := &bs.banks[ch][int(row)%len(bs.banks[ch])]
+	start := b.free
+	if start < now {
+		start = now
+	}
+	var lat sim.Time
+	if b.hasRow && b.openRow == row {
+		bs.RowHits++
+		lat = sim.Time(bs.cfg.RowHitPs)
+	} else {
+		bs.RowMisses++
+		lat = sim.Time(bs.cfg.RowMissPs)
+		b.openRow = row
+		b.hasRow = true
+	}
+	end := start + lat
+	b.free = end
+	return end
+}
+
+// RowHitRate returns the fraction of beats that hit an open row.
+func (bs *bankState) RowHitRate() float64 {
+	t := bs.RowHits + bs.RowMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(bs.RowHits) / float64(t)
+}

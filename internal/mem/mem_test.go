@@ -1,0 +1,199 @@
+package mem
+
+import (
+	"math"
+	"testing"
+
+	"unimem/internal/sim"
+)
+
+func newTestMem() (*sim.Engine, *Memory) {
+	eng := sim.NewEngine()
+	return eng, New(eng, Config{Channels: 2, SlotPs: 1000, LatencyPs: 5000})
+}
+
+func TestSingleReadLatency(t *testing.T) {
+	eng, m := newTestMem()
+	var doneAt sim.Time
+	m.Read(0, 64, Data, func(at sim.Time) { doneAt = at })
+	eng.RunAll()
+	// slot (1000) + latency (5000)
+	if doneAt != 6000 {
+		t.Fatalf("doneAt = %d, want 6000", doneAt)
+	}
+}
+
+func TestChannelInterleaving(t *testing.T) {
+	eng, m := newTestMem()
+	var a, b sim.Time
+	// addr 0 -> channel 0, addr 64 -> channel 1: fully parallel.
+	m.Read(0, 64, Data, func(at sim.Time) { a = at })
+	m.Read(64, 64, Data, func(at sim.Time) { b = at })
+	eng.RunAll()
+	if a != 6000 || b != 6000 {
+		t.Fatalf("parallel channels: a=%d b=%d, want both 6000", a, b)
+	}
+}
+
+func TestSameChannelSerializes(t *testing.T) {
+	eng, m := newTestMem()
+	var a, b sim.Time
+	// addr 0 and 128 both map to channel 0 with 2 channels.
+	m.Read(0, 64, Data, func(at sim.Time) { a = at })
+	m.Read(128, 64, Data, func(at sim.Time) { b = at })
+	eng.RunAll()
+	if a != 6000 {
+		t.Fatalf("a = %d, want 6000", a)
+	}
+	if b != 7000 { // queued behind the first beat
+		t.Fatalf("b = %d, want 7000", b)
+	}
+}
+
+func TestBurstSpansChannels(t *testing.T) {
+	eng, m := newTestMem()
+	var doneAt sim.Time
+	// 256B = 4 beats over 2 channels = 2 serial beats per channel.
+	m.Read(0, 256, Data, func(at sim.Time) { doneAt = at })
+	eng.RunAll()
+	if doneAt != 7000 { // 2 slots + latency
+		t.Fatalf("doneAt = %d, want 7000", doneAt)
+	}
+	if m.Stats.Reads[Data] != 4 {
+		t.Fatalf("beats = %d, want 4", m.Stats.Reads[Data])
+	}
+}
+
+func TestSizeRoundsUp(t *testing.T) {
+	eng, m := newTestMem()
+	m.Read(0, 1, Data, nil)
+	m.Read(0, 65, Data, nil)
+	eng.RunAll()
+	if m.Stats.Reads[Data] != 3 { // 1 + 2 beats
+		t.Fatalf("beats = %d, want 3", m.Stats.Reads[Data])
+	}
+}
+
+func TestWriteAccounting(t *testing.T) {
+	eng, m := newTestMem()
+	m.Write(0, 128, MAC, nil)
+	eng.RunAll()
+	if m.Stats.Writes[MAC] != 2 {
+		t.Fatalf("MAC write beats = %d, want 2", m.Stats.Writes[MAC])
+	}
+	if got := m.Stats.BytesKind(MAC); got != 128 {
+		t.Fatalf("MAC bytes = %d, want 128", got)
+	}
+	if got := m.Stats.MetadataBytes(); got != 128 {
+		t.Fatalf("metadata bytes = %d, want 128", got)
+	}
+}
+
+func TestQueueingDelayUnderLoad(t *testing.T) {
+	eng, m := newTestMem()
+	const n = 100
+	var last sim.Time
+	for i := 0; i < n; i++ {
+		// all on channel 0
+		m.Read(uint64(i)*128, 64, Data, func(at sim.Time) { last = at })
+	}
+	eng.RunAll()
+	// n serial slots + latency
+	want := sim.Time(n*1000 + 5000)
+	if last != want {
+		t.Fatalf("last = %d, want %d", last, want)
+	}
+	if m.Stats.BusyPs != n*1000 {
+		t.Fatalf("busy = %d, want %d", m.Stats.BusyPs, n*1000)
+	}
+}
+
+func TestOrinBandwidth(t *testing.T) {
+	eng := sim.NewEngine()
+	m := New(eng, OrinConfig())
+	bw := m.PeakBandwidthBytesPerSec()
+	if math.Abs(bw-17e9)/17e9 > 0.01 {
+		t.Fatalf("Orin bandwidth = %.3g, want ~17e9 within 1%%", bw)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{Data: "data", Counter: "counter", MAC: "mac", GranTable: "grantable", Switch: "switch", nKinds: "unknown"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestStatsBytesTotals(t *testing.T) {
+	eng, m := newTestMem()
+	m.Read(0, 64, Data, nil)
+	m.Read(64, 64, Counter, nil)
+	m.Write(128, 64, Data, nil)
+	eng.RunAll()
+	if got := m.Stats.Bytes(); got != 192 {
+		t.Fatalf("total bytes = %d, want 192", got)
+	}
+}
+
+func TestBankModelRowHits(t *testing.T) {
+	eng := sim.NewEngine()
+	m := New(eng, Config{Channels: 1, SlotPs: 1000, Banks: LPDDR4Banks()})
+	// Sequential beats within one 2KB row: first misses, rest hit.
+	for i := 0; i < 8; i++ {
+		m.Read(uint64(i*64), 64, Data, nil)
+	}
+	eng.RunAll()
+	if m.RowHitRate() <= 0.8 {
+		t.Fatalf("sequential row-hit rate = %.2f, want > 0.8", m.RowHitRate())
+	}
+}
+
+func TestBankModelConflictsSlower(t *testing.T) {
+	run := func(stride uint64) sim.Time {
+		eng := sim.NewEngine()
+		m := New(eng, Config{Channels: 1, SlotPs: 1000, Banks: LPDDR4Banks()})
+		var last sim.Time
+		for i := uint64(0); i < 32; i++ {
+			m.Read(i*stride, 64, Data, func(at sim.Time) { last = at })
+		}
+		eng.RunAll()
+		return last
+	}
+	seq := run(64)
+	// Stride of banks*rowBytes: every access conflicts in bank 0.
+	conflict := run(8 * 2048)
+	if conflict <= seq {
+		t.Fatalf("bank conflicts (%d) not slower than sequential (%d)", conflict, seq)
+	}
+}
+
+func TestBankParallelismOverlaps(t *testing.T) {
+	// Row misses to DIFFERENT banks overlap their activations; to the SAME
+	// bank they serialize.
+	run := func(stride uint64) sim.Time {
+		eng := sim.NewEngine()
+		m := New(eng, Config{Channels: 1, SlotPs: 1000, Banks: LPDDR4Banks()})
+		var last sim.Time
+		for i := uint64(0); i < 8; i++ {
+			m.Read(i*stride, 64, Data, func(at sim.Time) { last = at })
+		}
+		eng.RunAll()
+		return last
+	}
+	diffBanks := run(2048)    // consecutive rows -> consecutive banks
+	sameBank := run(8 * 2048) // all in bank 0
+	if diffBanks >= sameBank {
+		t.Fatalf("bank-parallel (%d) not faster than same-bank (%d)", diffBanks, sameBank)
+	}
+}
+
+func TestFlatModelRowHitRateZero(t *testing.T) {
+	eng, m := newTestMem()
+	m.Read(0, 64, Data, nil)
+	eng.RunAll()
+	if m.RowHitRate() != 0 {
+		t.Fatal("flat model reported a row-hit rate")
+	}
+}

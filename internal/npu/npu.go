@@ -1,0 +1,38 @@
+// Package npu models the NVDLA-style neural processing units of the
+// simulated Orin-like SoC (paper Table 3): a 45x45 systolic array fed by a
+// software-managed 2.2MB scratchpad over DMA.
+//
+// The NPU moves data in large software-scheduled tiles with double
+// buffering: one tile transfers while the previous computes. Its traffic
+// is therefore bursty and coarse (Fig. 4: 64.5% of NPU requests fall in
+// 32KB stream chunks), which makes it both the main beneficiary of
+// coarse-grained metadata and — because its bursts monopolize the shared
+// LPDDR channels — the main aggressor against CPU/GPU latency (section
+// 5.4).
+package npu
+
+import (
+	"unimem/internal/device"
+	"unimem/internal/sim"
+	"unimem/internal/workload"
+)
+
+// MLP is the double-buffering depth: one tile in flight while one
+// computes.
+const MLP = 2
+
+// NPU is one NPU workload driver.
+type NPU struct {
+	*device.Issuer
+}
+
+// New builds an NPU driving gen, issuing to sub at addresses offset by
+// base.
+func New(eng *sim.Engine, sub device.Submitter, gen workload.Generator, index int, base uint64) *NPU {
+	return &NPU{Issuer: device.New(eng, sub, gen, device.Config{
+		Name:  "NPU/" + gen.Name(),
+		Index: index,
+		Base:  base,
+		MLP:   MLP,
+	})}
+}

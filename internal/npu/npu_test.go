@@ -1,0 +1,61 @@
+package npu
+
+import (
+	"testing"
+
+	"unimem/internal/core"
+	"unimem/internal/mem"
+	"unimem/internal/meta"
+	"unimem/internal/sim"
+	"unimem/internal/workload"
+)
+
+func run(name string, s core.Scheme) (*NPU, *mem.Memory, *core.Engine) {
+	eng := sim.NewEngine()
+	mm := mem.New(eng, mem.OrinConfig())
+	en := core.New(eng, mm, 1<<30, s, core.Options{})
+	gen, err := workload.ByName(name, 0.05, 1)
+	if err != nil {
+		panic(err)
+	}
+	n := New(eng, en, gen, 2, 0)
+	n.Start()
+	eng.RunAll()
+	en.Finish()
+	return n, mm, en
+}
+
+func TestNPUDrains(t *testing.T) {
+	n, mm, _ := run("alex", core.Conventional)
+	if !n.Done() || n.Stats.Issued == 0 {
+		t.Fatal("npu did not drain")
+	}
+	// alex is tile-dominated: mean request size must be in the KB range.
+	meanSize := float64(n.Stats.ReadBytes+n.Stats.WriteBytes) / float64(n.Stats.Issued)
+	if meanSize < 4*meta.BlockSize {
+		t.Fatalf("mean request = %.0fB, want bulk DMA tiles", meanSize)
+	}
+	if mm.Stats.Bytes() == 0 {
+		t.Fatal("no traffic")
+	}
+}
+
+func TestNPUCoarseDetection(t *testing.T) {
+	// alex's tile streams must drive the tracker to coarse detections.
+	_, _, en := run("alex", core.Ours)
+	if en.Stats.Detections == 0 {
+		t.Fatal("no granularity detections on a streaming NPU workload")
+	}
+	if en.Table().Chunks() == 0 {
+		t.Fatal("no chunks promoted despite 32KB tile streams")
+	}
+}
+
+func TestNPUMultiGranularitySavesTraffic(t *testing.T) {
+	_, convMem, _ := run("alex", core.Conventional)
+	_, oursMem, _ := run("alex", core.Ours)
+	if oursMem.Stats.MetadataBytes() >= convMem.Stats.MetadataBytes() {
+		t.Fatalf("ours metadata %d >= conventional %d on the coarsest NPU workload",
+			oursMem.Stats.MetadataBytes(), convMem.Stats.MetadataBytes())
+	}
+}

@@ -1,0 +1,110 @@
+package secmem
+
+import (
+	"fmt"
+
+	"unimem/internal/crypto"
+	"unimem/internal/meta"
+)
+
+// This file models the attacker of the paper's threat model (section 2.5):
+// full control of off-chip memory — data, MACs, and counter-tree nodes —
+// but no access to on-chip state (root counters, keys). Every mutator here
+// corresponds to an attack the protection must detect.
+
+// TamperData flips one bit of the stored ciphertext of a block.
+func (m *Memory) TamperData(addr uint64) {
+	m.checkAddr(addr)
+	blk := addr &^ (meta.BlockSize - 1)
+	ct := m.data[blk]
+	ct[addr%meta.BlockSize] ^= 1
+	m.data[blk] = ct
+}
+
+// TamperMAC flips one bit of the stored MAC guarding addr.
+func (m *Memory) TamperMAC(addr uint64) {
+	m.checkAddr(addr)
+	base, _ := m.unitOf(addr)
+	slot := m.unitMACAddr(base, m.table.Current(meta.ChunkIndex(addr)))
+	mac := m.macs[slot]
+	mac[0] ^= 1
+	m.macs[slot] = mac
+}
+
+// TamperCounter bumps the stored counter entry guarding addr at its
+// protection level without resealing the tree, modelling direct counter
+// manipulation in off-chip memory.
+func (m *Memory) TamperCounter(addr uint64) {
+	m.checkAddr(addr)
+	base, gran := m.unitOf(addr)
+	level := gran.Level()
+	if level >= m.geom.Levels() {
+		return // counter on chip; not attacker reachable
+	}
+	k := counterKey{level, m.geom.CounterEntryIndex(level, meta.BlockIndex(base))}
+	m.counters[k]++
+}
+
+// SpliceData swaps the stored ciphertext of two blocks, modelling a
+// relocation attack. The MACs stay where they were.
+func (m *Memory) SpliceData(a, b uint64) {
+	m.checkAddr(a)
+	m.checkAddr(b)
+	m.data[a], m.data[b] = m.data[b], m.data[a]
+}
+
+// Snapshot captures all off-chip state: ciphertext, MACs, tree nodes and
+// counters. Restoring it after further writes is a replay attack — the
+// on-chip roots are deliberately not captured.
+type Snapshot struct {
+	data     map[uint64][meta.BlockSize]byte
+	counters map[counterKey]uint64
+	macs     map[uint64]crypto.MAC
+	nodeMACs map[uint64]crypto.MAC
+	majors   map[uint64]uint64
+}
+
+// Snapshot records current off-chip memory contents.
+func (m *Memory) Snapshot() *Snapshot {
+	s := &Snapshot{
+		data:     make(map[uint64][meta.BlockSize]byte, len(m.data)),
+		counters: make(map[counterKey]uint64, len(m.counters)),
+		macs:     make(map[uint64]crypto.MAC, len(m.macs)),
+		nodeMACs: make(map[uint64]crypto.MAC, len(m.nodeMACs)),
+	}
+	for k, v := range m.data {
+		s.data[k] = v
+	}
+	for k, v := range m.counters {
+		s.counters[k] = v
+	}
+	for k, v := range m.macs {
+		s.macs[k] = v
+	}
+	for k, v := range m.nodeMACs {
+		s.nodeMACs[k] = v
+	}
+	s.majors = make(map[uint64]uint64, len(m.majors))
+	for k, v := range m.majors {
+		s.majors[k] = v
+	}
+	return s
+}
+
+// Replay overwrites off-chip memory with a previously captured snapshot,
+// leaving on-chip roots untouched.
+func (m *Memory) Replay(s *Snapshot) {
+	m.data = s.data
+	m.counters = s.counters
+	m.macs = s.macs
+	m.nodeMACs = s.nodeMACs
+	m.majors = s.majors
+}
+
+// Check verifies the full chain and MAC for addr without returning data.
+func (m *Memory) Check(addr uint64) error {
+	if _, err := m.Read(addr); err != nil {
+		return fmt.Errorf("check %#x: %w", addr, err)
+	}
+	return nil
+}

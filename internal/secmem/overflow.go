@@ -1,0 +1,102 @@
+package secmem
+
+import (
+	"fmt"
+
+	"unimem/internal/meta"
+)
+
+// Bounded counters and overflow handling. Real memory-protection engines
+// store small per-block counters (56-bit in SGX, 7-bit minors in
+// split-counter designs); when a minor counter saturates, the region's
+// major counter bumps and the whole region is re-encrypted, because every
+// block's effective counter — major<<width | minor — changes. This file
+// implements that mechanism with a per-chunk major counter: a configurable
+// minor width makes overflow testable (width 64 disables it, the default).
+//
+// Security argument for the major counters living off-chip unprotected:
+// the MACs bind the *effective* counter, so tampering a major garbles
+// decryption and fails the MAC; rolling back a major together with all
+// matching minors/MACs/tree nodes is a full replay, which the on-chip
+// roots catch like any other replay.
+
+// SetCounterWidth bounds minor counters to the given number of bits
+// (1..63; 0 restores unbounded counters). Must be called before the
+// first write.
+func (m *Memory) SetCounterWidth(bits int) {
+	if bits < 0 || bits > 63 {
+		panic(fmt.Sprintf("secmem: counter width %d out of range", bits))
+	}
+	if len(m.data) != 0 {
+		panic("secmem: SetCounterWidth after writes")
+	}
+	m.ctrBits = bits
+}
+
+// effectiveCtr combines a chunk's major epoch with a minor counter value.
+func (m *Memory) effectiveCtr(chunk uint64, minor uint64) uint64 {
+	if m.ctrBits == 0 {
+		return minor
+	}
+	return m.majors[chunk]<<uint(m.ctrBits) | minor
+}
+
+// minorLimit returns the first minor value that no longer fits.
+func (m *Memory) minorLimit() uint64 {
+	if m.ctrBits == 0 {
+		return ^uint64(0)
+	}
+	return 1 << uint(m.ctrBits)
+}
+
+// bumpMajor handles minor-counter saturation: the chunk's major epoch
+// advances and every written block of the chunk is re-encrypted under its
+// new effective counter, with all unit MACs recomputed — the overflow
+// cost real split-counter designs pay (cf. Morphable Counters [41]).
+func (m *Memory) bumpMajor(chunk uint64) error {
+	oldMajor := m.majors[chunk]
+	sp := m.table.Current(chunk)
+	chunkBase := chunk * meta.ChunkSize
+
+	// Decrypt everything under the old epoch first.
+	type unitPlain struct {
+		base  uint64
+		gran  meta.Gran
+		minor uint64
+		plain map[uint64][]byte
+	}
+	var units []unitPlain
+	for _, u := range sp.Units() {
+		base := chunkBase + uint64(u.Block)*meta.BlockSize
+		if err := m.verifyChain(u.Gran.Level(), meta.BlockIndex(base)); err != nil {
+			return err
+		}
+		minor := m.readCounter(u.Gran.Level(), m.geom.CounterEntryIndex(u.Gran.Level(), meta.BlockIndex(base)))
+		up := unitPlain{base: base, gran: u.Gran, minor: minor, plain: map[uint64][]byte{}}
+		oldEff := oldMajor<<uint(m.ctrBits) | minor
+		for a := base; a < base+u.Gran.Bytes(); a += meta.BlockSize {
+			if ct, ok := m.data[a]; ok {
+				up.plain[a] = m.eng.Open(a, oldEff, ct[:])
+			}
+		}
+		units = append(units, up)
+	}
+
+	m.majors[chunk] = oldMajor + 1
+	m.Stats.Overflows++
+
+	// Re-encrypt and reseal every touched unit under the new epoch.
+	for _, up := range units {
+		if len(up.plain) == 0 && up.minor == 0 {
+			continue // untouched unit: stays pristine
+		}
+		newEff := m.effectiveCtr(chunk, up.minor)
+		for a, pt := range up.plain {
+			var ct [meta.BlockSize]byte
+			copy(ct[:], m.eng.Seal(a, newEff, pt))
+			m.data[a] = ct
+		}
+		m.sealUnit(up.base, up.gran, newEff)
+	}
+	return nil
+}

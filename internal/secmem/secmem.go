@@ -1,0 +1,331 @@
+// Package secmem is the functional memory-protection layer: a protected
+// memory image with real counter-mode encryption, real per-block and
+// nested multi-granular MACs, and a real 8-ary counter integrity tree
+// chained to on-chip roots. Unlike the timing layer (internal/core), which
+// charges cycles, this layer moves actual bytes — tampering with stored
+// ciphertext, MACs or counters, and replaying stale snapshots, is actually
+// detected.
+//
+// Both layers share geometry and granularity encoding through
+// internal/meta, so the property tests here validate the same addressing
+// the timing model charges traffic for.
+package secmem
+
+import (
+	"errors"
+	"fmt"
+
+	"unimem/internal/crypto"
+	"unimem/internal/meta"
+)
+
+// Integrity violation errors.
+var (
+	// ErrMAC is returned when a data block's MAC does not match.
+	ErrMAC = errors.New("secmem: MAC mismatch (data tampered or spliced)")
+	// ErrTree is returned when an integrity-tree node fails verification.
+	ErrTree = errors.New("secmem: integrity-tree mismatch (counter tampered or replayed)")
+)
+
+type counterKey struct {
+	level int
+	entry uint64
+}
+
+// Memory is one protected memory image.
+type Memory struct {
+	geom  *meta.Geometry
+	eng   *crypto.Engine
+	table *meta.Table
+
+	data     map[uint64][meta.BlockSize]byte // ciphertext by block address
+	counters map[counterKey]uint64
+	macs     map[uint64]crypto.MAC // data MACs by MAC slot address
+	nodeMACs map[uint64]crypto.MAC // tree-node MACs by counter-line address
+	roots    []uint64              // on-chip root counters (not attacker visible)
+
+	// Bounded-counter state (see overflow.go). ctrBits == 0 means
+	// unbounded minors (no overflow handling needed).
+	ctrBits int
+	majors  map[uint64]uint64 // per-chunk major epoch, off-chip
+
+	// Stats counts functional operations for tests and examples.
+	Stats Stats
+}
+
+// Stats counts functional-layer activity.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	Promotions uint64
+	Demotions  uint64
+	Verified   uint64 // tree-node verifications performed
+	Overflows  uint64 // minor-counter saturations handled (overflow.go)
+}
+
+// New creates a protected memory of regionBytes (multiple of 32KB),
+// keyed by seed. All chunks start at the conventional fine (64B)
+// granularity.
+func New(regionBytes uint64, seed uint64) *Memory {
+	g := meta.NewGeometry(regionBytes)
+	return &Memory{
+		geom:     g,
+		eng:      crypto.NewEngine(seed),
+		table:    meta.NewTable(),
+		data:     map[uint64][meta.BlockSize]byte{},
+		counters: map[counterKey]uint64{},
+		macs:     map[uint64]crypto.MAC{},
+		nodeMACs: map[uint64]crypto.MAC{},
+		roots:    make([]uint64, g.RootEntries()),
+		majors:   map[uint64]uint64{},
+	}
+}
+
+// Geometry exposes the metadata layout.
+func (m *Memory) Geometry() *meta.Geometry { return m.geom }
+
+// Table exposes the granularity table (read-mostly; use ApplyDetection to
+// change granularity).
+func (m *Memory) Table() *meta.Table { return m.table }
+
+// GranOf returns the current protection granularity covering addr.
+func (m *Memory) GranOf(addr uint64) meta.Gran {
+	m.checkAddr(addr)
+	return m.table.Current(meta.ChunkIndex(addr)).GranOfBlock(meta.BlockInChunk(addr))
+}
+
+func (m *Memory) checkAddr(addr uint64) {
+	if addr >= m.geom.RegionBytes {
+		panic(fmt.Sprintf("secmem: address %#x outside protected region", addr))
+	}
+}
+
+// --- counter access -------------------------------------------------------
+
+func (m *Memory) readCounter(level int, entry uint64) uint64 {
+	if level >= m.geom.Levels() {
+		return m.roots[entry]
+	}
+	return m.counters[counterKey{level, entry}]
+}
+
+// writeCounter stores a counter entry and reseals the chain above it:
+// the parent counter is bumped to version the modified line, recursively
+// to the on-chip root, and the line's node MAC is recomputed under the new
+// parent value.
+func (m *Memory) writeCounter(level int, entry uint64, val uint64) {
+	if level >= m.geom.Levels() {
+		m.roots[entry] = val
+		return
+	}
+	m.counters[counterKey{level, entry}] = val
+	line := entry / meta.Arity
+	parentVal := m.readCounter(level+1, line) + 1
+	m.writeCounter(level+1, line, parentVal)
+	m.sealLine(level, line, parentVal)
+}
+
+func (m *Memory) lineEntries(level int, line uint64) []uint64 {
+	out := make([]uint64, meta.Arity)
+	for i := range out {
+		out[i] = m.readCounter(level, line*meta.Arity+uint64(i))
+	}
+	return out
+}
+
+func (m *Memory) lineAddr(level int, line uint64) uint64 {
+	// CounterLineAddr expects a block index; the first block the line
+	// covers is line*Arity^(level+1) ... reconstruct via entry index.
+	blockIdx := line * meta.Arity << (3 * uint(level))
+	return m.geom.CounterLineAddr(level, blockIdx)
+}
+
+func (m *Memory) sealLine(level int, line uint64, parentVal uint64) {
+	addr := m.lineAddr(level, line)
+	m.nodeMACs[addr] = m.eng.NodeMAC(addr, parentVal, m.lineEntries(level, line))
+}
+
+// verifyChain checks the tree from the counter line at startLevel covering
+// blockIdx up to the on-chip root (paper Fig. 2 / section 2.2; the
+// multi-granular tree starts at the promoted level, Fig. 10).
+func (m *Memory) verifyChain(startLevel int, blockIdx uint64) error {
+	for level := startLevel; level < m.geom.Levels(); level++ {
+		entry := m.geom.CounterEntryIndex(level, blockIdx)
+		line := entry / meta.Arity
+		parentVal := m.readCounter(level+1, line)
+		addr := m.lineAddr(level, line)
+		stored, ok := m.nodeMACs[addr]
+		if !ok {
+			// Never-written line: valid only in its pristine state.
+			if parentVal == 0 && m.lineZero(level, line) {
+				continue
+			}
+			return fmt.Errorf("%w: missing node MAC at level %d", ErrTree, level)
+		}
+		m.Stats.Verified++
+		want := m.eng.NodeMAC(addr, parentVal, m.lineEntries(level, line))
+		if !crypto.Equal(stored, want) {
+			return fmt.Errorf("%w: level %d line %#x", ErrTree, level, addr)
+		}
+	}
+	return nil
+}
+
+func (m *Memory) lineZero(level int, line uint64) bool {
+	for _, v := range m.lineEntries(level, line) {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// --- unit helpers ---------------------------------------------------------
+
+// unitOf resolves the protection unit covering addr under the current
+// granularity encoding.
+func (m *Memory) unitOf(addr uint64) (base uint64, gran meta.Gran) {
+	sp := m.table.Current(meta.ChunkIndex(addr))
+	u := sp.UnitOf(meta.BlockInChunk(addr))
+	return meta.ChunkBase(addr) + uint64(u.Block)*meta.BlockSize, u.Gran
+}
+
+// unitCounter returns the version counter of the unit (at the promoted
+// tree level for coarse units, paper Fig. 10).
+func (m *Memory) unitCounter(base uint64, gran meta.Gran) uint64 {
+	return m.readCounter(gran.Level(), m.geom.CounterEntryIndex(gran.Level(), meta.BlockIndex(base)))
+}
+
+// fineMACs computes the per-64B MACs of a unit's ciphertext under counter
+// ctr.
+func (m *Memory) fineMACs(base uint64, gran meta.Gran, ctr uint64) []crypto.MAC {
+	out := make([]crypto.MAC, gran.Blocks())
+	for i := range out {
+		blockAddr := base + uint64(i*meta.BlockSize)
+		ct := m.data[blockAddr]
+		out[i] = m.eng.BlockMAC(blockAddr, ctr, ct[:])
+	}
+	return out
+}
+
+// storedMAC returns the MAC slot address for a unit.
+func (m *Memory) unitMACAddr(base uint64, sp meta.StreamPart) uint64 {
+	a, _ := m.geom.MACAddrFor(base, sp)
+	return a
+}
+
+// sealUnit recomputes and stores the unit's MAC (nested for coarse units,
+// per-block for fine) under counter ctr.
+func (m *Memory) sealUnit(base uint64, gran meta.Gran, ctr uint64) {
+	sp := m.table.Current(meta.ChunkIndex(base))
+	fines := m.fineMACs(base, gran, ctr)
+	if gran == meta.Gran64 {
+		m.macs[m.unitMACAddr(base, sp)] = fines[0]
+		return
+	}
+	m.macs[m.unitMACAddr(base, sp)] = m.eng.NestedMAC(fines)
+}
+
+// --- public data path -----------------------------------------------------
+
+// Write stores one 64B plaintext block at the block-aligned address addr.
+// For blocks inside a coarse-grained unit the whole unit is re-encrypted
+// under a fresh shared counter (the bulk-write behaviour coarse units are
+// chosen for).
+func (m *Memory) Write(addr uint64, plaintext []byte) error {
+	m.checkAddr(addr)
+	if addr%meta.BlockSize != 0 || len(plaintext) != meta.BlockSize {
+		panic("secmem: Write requires one aligned 64B block")
+	}
+	m.Stats.Writes++
+	chunk := meta.ChunkIndex(addr)
+	base, gran := m.unitOf(addr)
+	level := gran.Level()
+	entry := m.geom.CounterEntryIndex(level, meta.BlockIndex(base))
+
+	// Verify before read-modify-write of sibling blocks.
+	if err := m.verifyChain(level, meta.BlockIndex(base)); err != nil {
+		return err
+	}
+	// Minor-counter saturation: bump the chunk's major epoch (re-encrypts
+	// the chunk and resets minors) before taking the write.
+	if m.readCounter(level, entry)+1 >= m.minorLimit() {
+		if err := m.bumpMajor(chunk); err != nil {
+			return err
+		}
+	}
+	oldCtr := m.readCounter(level, entry)
+	oldEff := m.effectiveCtr(chunk, oldCtr)
+
+	// Decrypt current unit contents (zero for never-written blocks).
+	plain := make([][]byte, gran.Blocks())
+	for i := range plain {
+		blockAddr := base + uint64(i*meta.BlockSize)
+		if ct, ok := m.data[blockAddr]; ok {
+			plain[i] = m.eng.Open(blockAddr, oldEff, ct[:])
+		} else {
+			plain[i] = make([]byte, meta.BlockSize)
+		}
+	}
+	plain[(addr-base)/meta.BlockSize] = plaintext
+
+	newCtr := oldCtr + 1
+	newEff := m.effectiveCtr(chunk, newCtr)
+	m.writeCounter(level, entry, newCtr)
+	for i := range plain {
+		blockAddr := base + uint64(i*meta.BlockSize)
+		var ct [meta.BlockSize]byte
+		copy(ct[:], m.eng.Seal(blockAddr, newEff, plain[i]))
+		m.data[blockAddr] = ct
+	}
+	m.sealUnit(base, gran, newEff)
+	return nil
+}
+
+// Read fetches and verifies one 64B block. For coarse units the whole unit
+// is authenticated (the nested MAC covers all member blocks). Never-written
+// units read as zeros.
+func (m *Memory) Read(addr uint64) ([]byte, error) {
+	m.checkAddr(addr)
+	if addr%meta.BlockSize != 0 {
+		panic("secmem: Read requires a 64B-aligned address")
+	}
+	m.Stats.Reads++
+	base, gran := m.unitOf(addr)
+	level := gran.Level()
+
+	if err := m.verifyChain(level, meta.BlockIndex(base)); err != nil {
+		return nil, err
+	}
+	minor := m.unitCounter(base, gran)
+	ctr := m.effectiveCtr(meta.ChunkIndex(base), minor)
+	sp := m.table.Current(meta.ChunkIndex(base))
+	stored, ok := m.macs[m.unitMACAddr(base, sp)]
+	if !ok {
+		if minor == 0 && m.unitUntouched(base, gran) {
+			return make([]byte, meta.BlockSize), nil
+		}
+		return nil, fmt.Errorf("%w: missing MAC for unit %#x", ErrMAC, base)
+	}
+	fines := m.fineMACs(base, gran, ctr)
+	var want crypto.MAC
+	if gran == meta.Gran64 {
+		want = fines[0]
+	} else {
+		want = m.eng.NestedMAC(fines)
+	}
+	if !crypto.Equal(stored, want) {
+		return nil, fmt.Errorf("%w: unit %#x (%v)", ErrMAC, base, gran)
+	}
+	ct := m.data[addr]
+	return m.eng.Open(addr, ctr, ct[:]), nil
+}
+
+func (m *Memory) unitUntouched(base uint64, gran meta.Gran) bool {
+	for i := 0; i < gran.Blocks(); i++ {
+		if _, ok := m.data[base+uint64(i*meta.BlockSize)]; ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,345 @@
+package secmem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"unimem/internal/meta"
+)
+
+const region = 1 << 20 // 1MB keeps tests fast: 32 chunks
+
+func newMem() *Memory { return New(region, 42) }
+
+func block(fill byte) []byte {
+	b := make([]byte, meta.BlockSize)
+	for i := range b {
+		b[i] = fill ^ byte(i)
+	}
+	return b
+}
+
+func mustWrite(t *testing.T, m *Memory, addr uint64, b []byte) {
+	t.Helper()
+	if err := m.Write(addr, b); err != nil {
+		t.Fatalf("Write(%#x): %v", addr, err)
+	}
+}
+
+func mustRead(t *testing.T, m *Memory, addr uint64) []byte {
+	t.Helper()
+	b, err := m.Read(addr)
+	if err != nil {
+		t.Fatalf("Read(%#x): %v", addr, err)
+	}
+	return b
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m := newMem()
+	want := block(0xab)
+	mustWrite(t, m, 0x1000, want)
+	if got := mustRead(t, m, 0x1000); !bytes.Equal(got, want) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	m := newMem()
+	got := mustRead(t, m, 0x2000)
+	if !bytes.Equal(got, make([]byte, meta.BlockSize)) {
+		t.Fatal("fresh memory not zero")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	m := newMem()
+	mustWrite(t, m, 0, block(1))
+	mustWrite(t, m, 0, block(2))
+	if !bytes.Equal(mustRead(t, m, 0), block(2)) {
+		t.Fatal("overwrite lost")
+	}
+}
+
+func TestCiphertextDiffersFromPlaintext(t *testing.T) {
+	m := newMem()
+	want := block(0x55)
+	mustWrite(t, m, 0, want)
+	if ct := m.data[0]; bytes.Equal(ct[:], want) {
+		t.Fatal("data stored in plaintext")
+	}
+}
+
+func TestDataTamperDetected(t *testing.T) {
+	m := newMem()
+	mustWrite(t, m, 0x40, block(9))
+	m.TamperData(0x40)
+	if _, err := m.Read(0x40); !errors.Is(err, ErrMAC) {
+		t.Fatalf("tamper err = %v, want ErrMAC", err)
+	}
+}
+
+func TestMACTamperDetected(t *testing.T) {
+	m := newMem()
+	mustWrite(t, m, 0x40, block(9))
+	m.TamperMAC(0x40)
+	if _, err := m.Read(0x40); !errors.Is(err, ErrMAC) {
+		t.Fatalf("tamper err = %v, want ErrMAC", err)
+	}
+}
+
+func TestCounterTamperDetected(t *testing.T) {
+	m := newMem()
+	mustWrite(t, m, 0x40, block(9))
+	m.TamperCounter(0x40)
+	if _, err := m.Read(0x40); !errors.Is(err, ErrTree) {
+		t.Fatalf("tamper err = %v, want ErrTree", err)
+	}
+}
+
+func TestSpliceDetected(t *testing.T) {
+	m := newMem()
+	mustWrite(t, m, 0x000, block(1))
+	mustWrite(t, m, 0x400, block(2))
+	m.SpliceData(0x000, 0x400)
+	if _, err := m.Read(0x000); !errors.Is(err, ErrMAC) {
+		t.Fatalf("splice err = %v, want ErrMAC", err)
+	}
+}
+
+func TestReplayDetected(t *testing.T) {
+	m := newMem()
+	mustWrite(t, m, 0x80, block(1))
+	snap := m.Snapshot()
+	mustWrite(t, m, 0x80, block(2)) // victim updates the value
+	m.Replay(snap)                  // attacker rolls memory back
+	_, err := m.Read(0x80)
+	if !errors.Is(err, ErrTree) {
+		t.Fatalf("replay err = %v, want ErrTree", err)
+	}
+}
+
+func TestReplayOfSiblingSubtreeDetected(t *testing.T) {
+	// Rolling back only part of memory must still trip the shared levels.
+	m := newMem()
+	mustWrite(t, m, 0x0, block(1))
+	mustWrite(t, m, meta.ChunkSize, block(3))
+	snap := m.Snapshot()
+	mustWrite(t, m, 0x0, block(2))
+	m.Replay(snap)
+	if _, err := m.Read(0x0); !errors.Is(err, ErrTree) {
+		t.Fatalf("err = %v, want ErrTree", err)
+	}
+}
+
+func TestPromotionRoundTrip(t *testing.T) {
+	m := newMem()
+	var want [][]byte
+	for b := 0; b < meta.BlocksPerPartition; b++ {
+		buf := block(byte(b))
+		want = append(want, buf)
+		mustWrite(t, m, uint64(b*meta.BlockSize), buf)
+	}
+	if err := m.Promote(0, 0, 1); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if g := m.GranOf(0); g != meta.Gran512 {
+		t.Fatalf("gran = %v, want 512B", g)
+	}
+	for b := 0; b < meta.BlocksPerPartition; b++ {
+		if !bytes.Equal(mustRead(t, m, uint64(b*meta.BlockSize)), want[b]) {
+			t.Fatalf("block %d lost after promotion", b)
+		}
+	}
+	if m.Stats.Promotions == 0 {
+		t.Fatal("promotion not counted")
+	}
+}
+
+func TestPromotionBumpsCounter(t *testing.T) {
+	// Fig. 13(a): parent counter = max(leaf counters)+1.
+	m := newMem()
+	mustWrite(t, m, 0, block(1))
+	mustWrite(t, m, 0, block(2)) // leaf counter now 2
+	mustWrite(t, m, 64, block(3))
+	if err := m.Promote(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	base, gran := m.unitOf(0)
+	if got := m.unitCounter(base, gran); got != 3 {
+		t.Fatalf("promoted counter = %d, want max(2,1)+1 = 3", got)
+	}
+}
+
+func TestDemotionKeepsCiphertext(t *testing.T) {
+	// Fig. 13(b): scale-down retains the counter value, so existing
+	// ciphertext must stay byte-identical (no re-encryption needed).
+	m := newMem()
+	for b := 0; b < meta.BlocksPerPartition; b++ {
+		mustWrite(t, m, uint64(b*meta.BlockSize), block(byte(b)))
+	}
+	if err := m.Promote(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	before := m.data[0x40]
+	if err := m.Demote(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	after := m.data[0x40]
+	if before != after {
+		t.Fatal("demotion re-encrypted data")
+	}
+	if g := m.GranOf(0); g != meta.Gran64 {
+		t.Fatalf("gran = %v after demotion", g)
+	}
+	if !bytes.Equal(mustRead(t, m, 0x40), block(1)) {
+		t.Fatal("data lost after demotion")
+	}
+	if m.Stats.Demotions == 0 {
+		t.Fatal("demotion not counted")
+	}
+}
+
+func TestPromoteTo32K(t *testing.T) {
+	m := newMem()
+	mustWrite(t, m, 0, block(7))
+	mustWrite(t, m, meta.ChunkSize-meta.BlockSize, block(8))
+	if err := m.ApplyDetection(0, meta.AllStream); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.GranOf(0); g != meta.Gran32K {
+		t.Fatalf("gran = %v, want 32KB", g)
+	}
+	if !bytes.Equal(mustRead(t, m, 0), block(7)) {
+		t.Fatal("block 0 lost")
+	}
+	if !bytes.Equal(mustRead(t, m, meta.ChunkSize-meta.BlockSize), block(8)) {
+		t.Fatal("last block lost")
+	}
+	// Middle block was never written: reads as zero (materialized).
+	if !bytes.Equal(mustRead(t, m, 0x4000), make([]byte, 64)) {
+		t.Fatal("middle block not zero")
+	}
+}
+
+func TestCoarseUnitWriteReencryptsUnit(t *testing.T) {
+	m := newMem()
+	mustWrite(t, m, 0, block(1))
+	mustWrite(t, m, 64, block(2))
+	if err := m.Promote(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	ctBefore := m.data[64]
+	mustWrite(t, m, 0, block(3)) // write sibling: shared counter bumps
+	if m.data[64] == ctBefore {
+		t.Fatal("coarse write did not re-encrypt sibling block")
+	}
+	if !bytes.Equal(mustRead(t, m, 64), block(2)) {
+		t.Fatal("sibling data corrupted by coarse write")
+	}
+}
+
+func TestTamperInsideCoarseUnitDetected(t *testing.T) {
+	m := newMem()
+	for b := 0; b < 8; b++ {
+		mustWrite(t, m, uint64(b*64), block(byte(b)))
+	}
+	if err := m.Promote(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.TamperData(0x100) // some member block
+	// Reading ANY member block must fail: the nested MAC covers the unit.
+	if _, err := m.Read(0); !errors.Is(err, ErrMAC) {
+		t.Fatalf("err = %v, want ErrMAC", err)
+	}
+}
+
+func TestReplayAcrossPromotionDetected(t *testing.T) {
+	m := newMem()
+	mustWrite(t, m, 0, block(1))
+	snap := m.Snapshot()
+	if err := m.Promote(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Replay(snap)
+	if _, err := m.Read(0); err == nil {
+		t.Fatal("replay across promotion undetected")
+	}
+}
+
+func TestMixedGranularityChunk(t *testing.T) {
+	// Partitions 0-7 become one 4KB unit, partition 9 a 512B unit, rest fine.
+	m := newMem()
+	for b := 0; b < 128; b++ {
+		mustWrite(t, m, uint64(b*64), block(byte(b)))
+	}
+	sp := meta.StreamPart(0xff) | 1<<9
+	if err := m.ApplyDetection(0, sp); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.GranOf(0); g != meta.Gran4K {
+		t.Fatalf("gran(0) = %v", g)
+	}
+	if g := m.GranOf(9 * meta.PartitionSize); g != meta.Gran512 {
+		t.Fatalf("gran(part9) = %v", g)
+	}
+	if g := m.GranOf(8 * meta.PartitionSize); g != meta.Gran64 {
+		t.Fatalf("gran(part8) = %v", g)
+	}
+	for b := 0; b < 128; b++ {
+		if !bytes.Equal(mustRead(t, m, uint64(b*64)), block(byte(b))) {
+			t.Fatalf("block %d lost in mixed switch", b)
+		}
+	}
+}
+
+func TestApplyDetectionIdempotent(t *testing.T) {
+	m := newMem()
+	mustWrite(t, m, 0, block(1))
+	if err := m.ApplyDetection(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Promotions != 0 && m.Stats.Demotions != 0 {
+		t.Fatal("no-op detection switched something")
+	}
+}
+
+func TestWriteAlignmentPanics(t *testing.T) {
+	m := newMem()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned write did not panic")
+		}
+	}()
+	_ = m.Write(1, block(0))
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := newMem()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range read did not panic")
+		}
+	}()
+	_, _ = m.Read(region)
+}
+
+func TestGranOfDefault(t *testing.T) {
+	m := newMem()
+	if g := m.GranOf(0x8000); g != meta.Gran64 {
+		t.Fatalf("default gran = %v, want 64B", g)
+	}
+}
+
+func TestCheckHelper(t *testing.T) {
+	m := newMem()
+	mustWrite(t, m, 0, block(1))
+	if err := m.Check(0); err != nil {
+		t.Fatal(err)
+	}
+	m.TamperData(0)
+	if err := m.Check(0); err == nil {
+		t.Fatal("Check missed tamper")
+	}
+}

@@ -1,0 +1,139 @@
+// Package sim provides the discrete-event simulation kernel shared by the
+// device models, the DRAM model, and the memory-protection engine.
+//
+// Time is kept in integer picoseconds so that the 2.2 GHz CPU domain, the
+// 1 GHz GPU/NPU domains, and the 2.4 GHz memory-controller domain of the
+// simulated NVIDIA-Orin-like SoC (paper Table 3) coexist without
+// fractional-cycle error. Components schedule callbacks on a binary-heap
+// event queue owned by an Engine; there is no wall-clock dependence and a
+// run with the same inputs is fully deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is an absolute simulation timestamp in picoseconds.
+type Time int64
+
+// MaxTime is the largest representable timestamp.
+const MaxTime = Time(math.MaxInt64)
+
+// Common clock periods for the simulated SoC (paper Table 3).
+const (
+	// PsPerCPUCycle is the period of the 2.2 GHz CPU clock, rounded to
+	// integer picoseconds (454.5... -> 455 ps, a 0.1% error absorbed by
+	// calibration).
+	PsPerCPUCycle = 455
+	// PsPerGPUCycle is the period of the 1 GHz GPU clock.
+	PsPerGPUCycle = 1000
+	// PsPerNPUCycle is the period of the 1 GHz NPU clock.
+	PsPerNPUCycle = 1000
+	// PsPerMemCycle is the period of the 2.4 GHz LPDDR4 controller clock
+	// (416.6... -> 417 ps).
+	PsPerMemCycle = 417
+)
+
+// Clock converts between a fixed-frequency cycle domain and picoseconds.
+type Clock struct {
+	// PeriodPs is the duration of one cycle in picoseconds.
+	PeriodPs int64
+}
+
+// Cycles converts a duration in this clock's cycles to picoseconds.
+func (c Clock) Cycles(n int64) Time { return Time(n * c.PeriodPs) }
+
+// ToCycles converts an absolute time to a cycle count in this domain,
+// rounding down.
+func (c Clock) ToCycles(t Time) int64 { return int64(t) / c.PeriodPs }
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among equal timestamps
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine owns the event queue and the simulation clock.
+//
+// The zero value is not ready to use; call NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// Executed counts processed events, exposed for tests and for
+	// run-length limiting.
+	Executed uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t less
+// than Now) panics: it always indicates a component bug, never valid input.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d picoseconds from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Pending reports how many events are queued.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step executes the single earliest event. It reports false when the queue
+// is empty.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.Executed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or the clock passes deadline,
+// whichever comes first, and returns the final simulation time.
+func (e *Engine) Run(deadline Time) Time {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	return e.now
+}
+
+// RunAll executes events until the queue drains and returns the final time.
+func (e *Engine) RunAll() Time { return e.Run(MaxTime) }

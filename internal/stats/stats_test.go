@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Fatal("geomean of empty != 0")
+	}
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("geomean = %v", got)
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 4 {
+		t.Fatal("extremes wrong")
+	}
+	if got := Percentile(xs, 50); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("median = %v", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile != 0")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{2, 1})
+	if len(pts) != 2 || pts[0].X != 1 || pts[0].F != 0.5 || pts[1].X != 2 || pts[1].F != 1 {
+		t.Fatalf("cdf = %+v", pts)
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i := range xs {
+			if math.IsNaN(xs[i]) {
+				xs[i] = 0
+			}
+		}
+		pts := CDF(xs)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X < pts[i-1].X || pts[i].F <= pts[i-1].F {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanBetweenMinMaxProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		lo, hi := clean[0], clean[0]
+		for _, x := range clean {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		m := Mean(clean)
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Row("alpha", 1.5)
+	tb.Row("b", "x")
+	s := tb.String()
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "1.500") {
+		t.Fatalf("table output:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), s)
+	}
+}

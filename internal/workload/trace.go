@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"unimem/internal/sim"
+)
+
+// Trace export/import. The simulator's synthetic generators substitute for
+// the paper's ChampSim/MGPUSim/mNPUsim traces; users who have real traces
+// can feed them in through this format instead — one request per line:
+//
+//	R 0x00001040 64 1200        # read,  addr, size, compute gap (ps)
+//	W 0x00002000 4096 250000    # write
+//	R 0x00001080 64 800 dep     # dependent load (waits for all earlier)
+//
+// Lines starting with '#' and blank lines are ignored. Addresses and sizes
+// must be 64B aligned/multiples.
+
+// WriteTrace drains a generator into w in the text trace format.
+func WriteTrace(w io.Writer, g Generator) (int, error) {
+	bw := bufio.NewWriter(w)
+	n := 0
+	fmt.Fprintf(bw, "# unimem trace: workload %s\n", g.Name())
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		op := "R"
+		if r.Write {
+			op = "W"
+		}
+		dep := ""
+		if r.Dep {
+			dep = " dep"
+		}
+		if _, err := fmt.Fprintf(bw, "%s %#x %d %d%s\n", op, r.Addr, r.Size, int64(r.GapPs), dep); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, bw.Flush()
+}
+
+// traceGen replays a parsed trace.
+type traceGen struct {
+	name string
+	reqs []Request
+	i    int
+}
+
+func (t *traceGen) Name() string { return t.name }
+
+func (t *traceGen) Next() (Request, bool) {
+	if t.i >= len(t.reqs) {
+		return Request{}, false
+	}
+	r := t.reqs[t.i]
+	t.i++
+	return r, true
+}
+
+// ReadTrace parses a text trace into a replayable generator.
+func ReadTrace(r io.Reader, name string) (Generator, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	g := &traceGen{name: name}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields) > 5 {
+			return nil, fmt.Errorf("trace line %d: want \"R|W addr size gap [dep]\", got %q", lineNo, line)
+		}
+		var req Request
+		switch fields[0] {
+		case "R", "r":
+		case "W", "w":
+			req.Write = true
+		default:
+			return nil, fmt.Errorf("trace line %d: bad op %q", lineNo, fields[0])
+		}
+		addr, err := strconv.ParseUint(fields[1], 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace line %d: bad address %q: %v", lineNo, fields[1], err)
+		}
+		req.Addr = addr
+		size, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace line %d: bad size %q: %v", lineNo, fields[2], err)
+		}
+		req.Size = size
+		gap, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace line %d: bad gap %q: %v", lineNo, fields[3], err)
+		}
+		req.GapPs = sim.Time(gap)
+		if len(fields) == 5 {
+			if fields[4] != "dep" {
+				return nil, fmt.Errorf("trace line %d: unknown flag %q", lineNo, fields[4])
+			}
+			req.Dep = true
+		}
+		if req.Addr%64 != 0 || req.Size <= 0 || req.Size%64 != 0 {
+			return nil, fmt.Errorf("trace line %d: address/size must be 64B aligned", lineNo)
+		}
+		if gap < 0 {
+			return nil, fmt.Errorf("trace line %d: negative gap", lineNo)
+		}
+		g.reqs = append(g.reqs, req)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	g, err := ByName("xal", 0.02, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := WriteTrace(&buf, g)
+	if err != nil || n == 0 {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	replay, err := ReadTrace(&buf, "xal-replay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := ByName("xal", 0.02, 3)
+	a, b := Collect(orig), Collect(replay)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if replay.Name() != "xal-replay" {
+		t.Fatalf("name = %q", replay.Name())
+	}
+}
+
+func TestReadTraceFormats(t *testing.T) {
+	in := `# comment
+
+R 0x1000 64 1200
+W 4096 4096 250000
+r 0x2000 64 0 dep
+`
+	g, err := ReadTrace(strings.NewReader(in), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := Collect(g)
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d requests", len(rs))
+	}
+	if rs[0].Addr != 0x1000 || rs[0].Write || rs[0].GapPs != 1200 {
+		t.Fatalf("req0 = %+v", rs[0])
+	}
+	if !rs[1].Write || rs[1].Addr != 4096 || rs[1].Size != 4096 {
+		t.Fatalf("req1 = %+v", rs[1])
+	}
+	if !rs[2].Dep {
+		t.Fatalf("req2 = %+v", rs[2])
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	bad := []string{
+		"X 0x1000 64 0",       // bad op
+		"R zz 64 0",           // bad addr
+		"R 0x1000 63 0",       // unaligned size
+		"R 0x1001 64 0",       // unaligned addr
+		"R 0x1000 64 -5",      // negative gap
+		"R 0x1000 64 0 nope",  // bad flag
+		"R 0x1000 64",         // short line
+		"R 0x1000 64 0 dep x", // long line
+	}
+	for _, line := range bad {
+		if _, err := ReadTrace(strings.NewReader(line), "t"); err == nil {
+			t.Errorf("accepted bad line %q", line)
+		}
+	}
+}
+
+func TestTraceDrivesSimulation(t *testing.T) {
+	// A file trace must be usable anywhere a generator is.
+	var buf bytes.Buffer
+	g, _ := ByName("alex", 0.02, 1)
+	if _, err := WriteTrace(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := ReadTrace(&buf, "alex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := AnalyzeStreamChunks(replay, 0)
+	if m.Requests == 0 || m.Coarse() == 0 {
+		t.Fatalf("replayed trace lost its shape: %+v", m)
+	}
+}

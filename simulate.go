@@ -1,0 +1,95 @@
+package unimem
+
+import (
+	"unimem/internal/core"
+	"unimem/internal/hetero"
+	"unimem/internal/sim"
+	"unimem/internal/workload"
+)
+
+func simTime(v int64) sim.Time { return sim.Time(v) }
+
+// Scheme selects a simulated protection scheme (paper Table 5 plus the
+// ablations of Fig. 6 / Fig. 20).
+type Scheme = core.Scheme
+
+// The simulated schemes.
+const (
+	Unsecure              = core.Unsecure
+	Conventional          = core.Conventional
+	StaticDeviceBest      = core.StaticDeviceBest
+	MultiCTROnly          = core.MultiCTROnly
+	Ours                  = core.Ours
+	Adaptive              = core.Adaptive
+	CommonCTR             = core.CommonCTR
+	BMFUnused             = core.BMFUnused
+	BMFUnusedOurs         = core.BMFUnusedOurs
+	OursDual              = core.OursDual
+	OursNoSwitch          = core.OursNoSwitch
+	BMFUnusedOursNoSwitch = core.BMFUnusedOursNoSwitch
+	PerPartitionOracle    = core.PerPartitionOracle
+	MACOnly               = core.MACOnly
+)
+
+// Schemes lists every scheme.
+var Schemes = core.Schemes
+
+// Scenario is one heterogeneous mix: a CPU, a GPU and two NPU workloads.
+type Scenario = hetero.Scenario
+
+// SimConfig controls a simulation run.
+type SimConfig = hetero.Config
+
+// RunResult is a raw simulation outcome.
+type RunResult = hetero.RunResult
+
+// Normalized is a scheme outcome relative to the unsecured baseline.
+type Normalized = hetero.Normalized
+
+// AllScenarios enumerates the paper's 250-scenario space.
+func AllScenarios() []Scenario { return hetero.AllScenarios() }
+
+// SelectedScenarios returns the 11 named scenarios of section 5.4.
+func SelectedScenarios() []Scenario { return hetero.SelectedScenarios() }
+
+// SampleScenarios returns a deterministic n-scenario spread of the space.
+func SampleScenarios(n int) []Scenario { return hetero.SampleScenarios(n) }
+
+// RunScenario simulates one scenario under one scheme.
+func RunScenario(sc Scenario, s Scheme, cfg SimConfig) RunResult {
+	return hetero.Run(sc, s, cfg)
+}
+
+// RunNormalized simulates a scheme and its unsecured baseline and returns
+// the paper's normalized-execution-time metric.
+func RunNormalized(sc Scenario, s Scheme, cfg SimConfig) Normalized {
+	base := hetero.Run(sc, Unsecure, cfg)
+	return hetero.Normalize(hetero.Run(sc, s, cfg), base)
+}
+
+// Sweep runs scenarios across schemes with a shared unsecured baseline per
+// scenario (the engine behind Figures 15-19).
+func Sweep(scs []Scenario, schemes []Scheme, cfg SimConfig) []hetero.SweepResult {
+	return hetero.Sweep(scs, schemes, cfg)
+}
+
+// Pipeline is a Table 6 real-world application.
+type Pipeline = hetero.Pipeline
+
+// Finance returns the Table 6 Finance pipeline (pr -> mcf -> dlrm).
+func Finance() Pipeline { return hetero.Finance() }
+
+// AutoDrive returns the Table 6 AutoDrive pipeline (sten -> yt -> sc).
+func AutoDrive() Pipeline { return hetero.AutoDrive() }
+
+// RunPipeline simulates a pipeline under a scheme.
+func RunPipeline(p Pipeline, s Scheme, cfg SimConfig) hetero.PipelineResult {
+	return hetero.RunPipeline(p, s, cfg)
+}
+
+// Workloads lists all registered workload names (Table 4 plus the Table 6
+// extras).
+func Workloads() []string { return workload.Names() }
+
+// HWCost re-derives the paper's section 4.5 hardware-cost arithmetic.
+func HWCost() core.HWCost { return core.ComputeHWCost(12) }
