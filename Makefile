@@ -1,0 +1,37 @@
+# Development entry points. `make check` is the full local gate; CI runs it
+# plus the race detector and the invariants-armed test suite (see
+# .github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: check fmt vet lint build test test-race test-invariants fuzz
+
+check: fmt vet lint build test
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt: needs formatting:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/mglint ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./internal/...
+
+test-invariants:
+	$(GO) test -tags invariants ./...
+
+# Short fuzz pass over the three targets (seed corpus runs in plain `test`).
+fuzz:
+	$(GO) test -tags invariants -run '^$$' -fuzz FuzzMACSlot -fuzztime 30s ./internal/meta/
+	$(GO) test -tags invariants -run '^$$' -fuzz FuzzGeometryEqs -fuzztime 30s ./internal/meta/
+	$(GO) test -tags invariants -run '^$$' -fuzz FuzzTrackerEviction -fuzztime 30s ./internal/tracker/

@@ -1,0 +1,80 @@
+// Command mglint runs the repository's domain-aware static analyzers over
+// the module: magic-granularity, unit-mixing, alignment and
+// unchecked-return (see internal/lint). It exits non-zero when any
+// unsuppressed finding remains, making it suitable as a CI gate:
+//
+//	go run ./cmd/mglint ./...
+//
+// Findings are suppressed in source with
+//
+//	//lint:ignore mglint/<rule> <reason>
+//
+// on the offending line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"unimem/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		tests = flag.Bool("tests", false, "also lint _test.go files (in-package tests only)")
+		rules = flag.String("rules", "", "comma-separated rule subset (default: all)")
+		list  = flag.Bool("list", false, "list available rules and exit")
+		quiet = flag.Bool("q", false, "suppress the finding count summary")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mglint [flags] [./...]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-18s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+
+	// The analyzers are whole-module by construction (cross-package types
+	// are needed anyway), so any ./... style argument selects the module
+	// containing the current directory; a path argument selects the module
+	// containing that path.
+	root := "."
+	if args := flag.Args(); len(args) > 0 {
+		root = strings.TrimSuffix(strings.TrimSuffix(args[0], "..."), "/")
+		if root == "" {
+			root = "."
+		}
+	}
+
+	var opts lint.Options
+	opts.Load.Tests = *tests
+	if *rules != "" {
+		opts.Rules = strings.Split(*rules, ",")
+	}
+	findings, err := lint.Run(root, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mglint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "mglint: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}

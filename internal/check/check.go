@@ -1,0 +1,32 @@
+//go:build invariants
+
+// Package check provides runtime invariant assertions for the protection
+// engine's internal consistency properties (tree-path monotonicity, MAC
+// compaction bounds, granularity-table well-formedness). Assertions are
+// compiled in only under the `invariants` build tag:
+//
+//	go test -tags invariants ./...
+//
+// Without the tag Enabled is a false constant, so guarded call sites
+// (`if check.Enabled { check.Assert(...) }`) are eliminated at compile
+// time and production simulation speed is unaffected.
+package check
+
+import "fmt"
+
+// Enabled reports whether invariant checking is compiled in.
+const Enabled = true
+
+// Assert panics with msg when cond is false.
+func Assert(cond bool, msg string) {
+	if !cond {
+		panic("invariant violated: " + msg)
+	}
+}
+
+// Assertf panics with a formatted message when cond is false.
+func Assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic("invariant violated: " + fmt.Sprintf(format, args...))
+	}
+}

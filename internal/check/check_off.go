@@ -1,0 +1,17 @@
+//go:build !invariants
+
+// Package check provides runtime invariant assertions for the protection
+// engine's internal consistency properties. This is the default build: the
+// assertions compile to nothing and Enabled is a false constant, so guarded
+// call sites (`if check.Enabled { ... }`) are dead-code-eliminated. Build
+// with `-tags invariants` to compile the checks in.
+package check
+
+// Enabled reports whether invariant checking is compiled in.
+const Enabled = false
+
+// Assert is a no-op in the default build.
+func Assert(bool, string) {}
+
+// Assertf is a no-op in the default build.
+func Assertf(bool, string, ...any) {}

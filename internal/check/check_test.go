@@ -1,0 +1,18 @@
+package check
+
+import "testing"
+
+func TestAssertRespectsBuildTag(t *testing.T) {
+	Assert(true, "never fires")
+	Assertf(true, "never fires %d", 1)
+	defer func() {
+		r := recover()
+		if Enabled && r == nil {
+			t.Fatal("Assert(false) did not panic with invariants enabled")
+		}
+		if !Enabled && r != nil {
+			t.Fatalf("Assert(false) panicked in the default build: %v", r)
+		}
+	}()
+	Assert(false, "boom")
+}

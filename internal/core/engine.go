@@ -2,6 +2,7 @@ package core
 
 import (
 	"unimem/internal/cache"
+	"unimem/internal/check"
 	"unimem/internal/mem"
 	"unimem/internal/meta"
 	"unimem/internal/sim"
@@ -282,6 +283,11 @@ func forEachUnit(sp meta.StreamPart, chunkBase, addr uint64, size int, cap meta.
 		if g > cap {
 			g = cap
 			base = meta.AlignGran(addr, g)
+		}
+		if check.Enabled {
+			check.Assertf(meta.Aligned(base, g.Bytes()),
+				"unit base %#x not aligned to its %v granularity", base, g)
+			check.Assertf(base+g.Bytes() > addr, "unit at %#x makes no progress past %#x", base, addr)
 		}
 		fn(unitSpan{base: base, gran: g})
 		addr = base + g.Bytes()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"unimem/internal/check"
 	"unimem/internal/mem"
 	"unimem/internal/meta"
 	"unimem/internal/sim"
@@ -77,6 +78,12 @@ func (e *Engine) Submit(r Request, done func(sim.Time)) {
 
 // submitChunk handles a transaction confined to one 32KB chunk.
 func (e *Engine) submitChunk(r Request, done func(sim.Time)) {
+	if check.Enabled {
+		check.Assertf(meta.Aligned(r.Addr, meta.BlockSize) && r.Size > 0 && r.Size%meta.BlockSize == 0,
+			"request not 64B-block shaped: addr=%#x size=%d", r.Addr, r.Size)
+		check.Assertf(meta.ChunkIndex(r.Addr) == meta.ChunkIndex(r.Addr+uint64(r.Size)-1),
+			"request crosses a chunk boundary: addr=%#x size=%d", r.Addr, r.Size)
+	}
 	e.Stats.Requests++
 	e.recordIssue(r)
 	if r.Write {
@@ -176,7 +183,7 @@ func (e *Engine) submitChunk(r Request, done func(sim.Time)) {
 		if r.Addr == u.base {
 			return // stream start: the unit fills as the stream proceeds
 		}
-		if r.Size >= int(u.gran.Bytes())/meta.Arity && r.Addr%uint64(r.Size) == 0 {
+		if r.Size >= int(u.gran.Bytes())/meta.Arity && meta.Aligned(r.Addr, uint64(r.Size)) {
 			// A naturally aligned bulk transaction covering at least one
 			// arity-slice of the unit is a stream member, not a stray
 			// probe: open the unit and verify as the stream completes.
@@ -247,6 +254,14 @@ func (e *Engine) submitChunk(r Request, done func(sim.Time)) {
 		}
 		blockIdx := meta.BlockIndex(u.base)
 		walk := e.walkUnit(blockIdx, u.gran, r.Write)
+		if check.Enabled {
+			// Counter delegation (Fig. 10): a unit whose counter was promoted
+			// to level gran.Level() skips exactly that many leaf levels, so
+			// the walk can never touch more stored levels than Eq. 2 allows.
+			check.Assertf(walk.Levels <= e.geom.WalkLen(u.gran),
+				"walk of %v unit touched %d levels, delegation allows %d",
+				u.gran, walk.Levels, e.geom.WalkLen(u.gran))
+		}
 		e.Stats.WalkLevels += uint64(walk.Levels)
 		if walk.Pruned {
 			e.Stats.PrunedWalks++
@@ -273,6 +288,13 @@ func (e *Engine) submitChunk(r Request, done func(sim.Time)) {
 	var lastLine uint64 = ^uint64(0)
 	e.forUnits(sp, chunkBase, r, macGran, func(u unitSpan) {
 		lineAddr := e.macLineFor(chunk, chunkBase, sp, u, macGran)
+		if check.Enabled {
+			// MAC compaction (Fig. 9) must resolve into the chunk's own
+			// fixed reservation, never a neighbour's or the counter region.
+			check.Assertf(lineAddr >= e.geom.MACLineAddr(chunk, 0) &&
+				lineAddr <= e.geom.MACLineAddr(chunk, meta.BlocksPerChunk-1),
+				"MAC line %#x outside chunk %d reservation", lineAddr, chunk)
+		}
 		if lineAddr != lastLine {
 			lastLine = lineAddr
 			hit, wb := e.macCache.Access(lineAddr, r.Write)
@@ -394,7 +416,7 @@ func (e *Engine) forUnits(sp meta.StreamPart, chunkBase uint64, r Request, rule 
 func (e *Engine) macLineFor(chunk uint64, chunkBase uint64, sp meta.StreamPart, u unitSpan, rule granRule) uint64 {
 	if rule.table && rule.cap == meta.Gran32K {
 		addr, _ := e.geom.MACAddrFor(u.base, sp)
-		return addr &^ 63
+		return meta.AlignBlock(addr)
 	}
 	slot := int((u.base - chunkBase) / meta.BlockSize)
 	return e.geom.MACLineAddr(chunk, slot)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"unimem/internal/check"
 	"unimem/internal/mem"
 	"unimem/internal/meta"
 	"unimem/internal/tracker"
@@ -117,6 +118,12 @@ func (e *Engine) handleSwitches(r Request, chunk, chunkBase uint64, complete *jo
 
 // chargeSwitch implements the Table 2 cost matrix for one switched unit.
 func (e *Engine) chargeSwitch(r Request, chunk, chunkBase uint64, b int, from, to meta.Gran, complete *join, classified *bool) {
+	if check.Enabled {
+		check.Assertf(from != to, "chargeSwitch for a non-switch at chunk %d block %d", chunk, b)
+		check.Assertf(b >= 0 && b < meta.BlocksPerChunk, "switch block %d outside chunk", b)
+		check.Assertf(from >= meta.Gran64 && from <= meta.Gran32K && to >= meta.Gran64 && to <= meta.Gran32K,
+			"switch between invalid granularities %v -> %v", from, to)
+	}
 	lastW := e.lastWrite[chunk]
 	blockIdx := meta.BlockIndex(chunkBase + uint64(b)*meta.BlockSize)
 
@@ -155,7 +162,7 @@ func (e *Engine) chargeSwitch(r Request, chunk, chunkBase uint64, b int, from, t
 					e.mm.Read(a, 64, mem.Switch, complete.Add())
 				}
 				for i := 0; i < walk.Writebacks; i++ {
-					e.mm.Write(a64(a64Base(e, blockIdx)), 64, mem.Counter, nil)
+					e.mm.Write(a64Base(e, blockIdx), 64, mem.Counter, nil)
 				}
 			}
 		}
@@ -172,12 +179,8 @@ func (e *Engine) chargeSwitch(r Request, chunk, chunkBase uint64, b int, from, t
 				if !*classified {
 					e.Stats.Switches.MACDownRO++
 				}
-				lines := from.Blocks() / meta.MACsPerLine
-				if lines < 1 {
-					lines = 1
-				}
-				for i := 0; i < lines; i++ {
-					e.mm.Read(e.geom.MACLineAddr(chunk, (b+i*meta.MACsPerLine)%meta.BlocksPerChunk), 64, mem.MAC, complete.Add())
+				for _, lineAddr := range e.fineMACLines(chunk, b, from) {
+					e.mm.Read(lineAddr, 64, mem.MAC, complete.Add())
 				}
 			} else {
 				// Written data: the whole unit must be fetched to recompute
@@ -197,11 +200,29 @@ func (e *Engine) chargeSwitch(r Request, chunk, chunkBase uint64, b int, from, t
 	*classified = true
 }
 
+// fineMACLines returns the 64B MAC-line addresses holding the fine-grained
+// MACs of the from-sized unit containing chunk block b — the lines a
+// read-only scale-down fetches (section 4.4). The span is anchored at the
+// unit base, not at b: a lazy switch can be triggered from any partition of
+// the unit, and anchoring at b would fetch lines past the unit (an earlier
+// version wrapped them modulo the chunk, fetching another unit's MACs).
+func (e *Engine) fineMACLines(chunk uint64, b int, from meta.Gran) []uint64 {
+	base := b &^ (from.Blocks() - 1)
+	lines := from.Blocks() / meta.MACsPerLine
+	if lines < 1 {
+		lines = 1
+	}
+	out := make([]uint64, 0, lines)
+	for i := 0; i < lines; i++ {
+		out = append(out, e.geom.MACLineAddr(chunk, base+i*meta.MACsPerLine))
+	}
+	return out
+}
+
 // a64Base picks a representative counter-line address for writeback
 // traffic accounting (the evicted line's true address is not tracked by
 // the tag cache; using the walk's leaf line keeps channel balance).
+// CounterLineAddr returns 64B line addresses by construction.
 func a64Base(e *Engine, blockIdx uint64) uint64 {
 	return e.geom.CounterLineAddr(0, blockIdx)
 }
-
-func a64(a uint64) uint64 { return a &^ 63 }

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Alignment enforces the bound-versus-address discipline of the address
+// domain: `addr + size` is an exclusive bound, not a 64B-aligned address,
+// and must either be named as a bound (end/hi/limit/...), stay inside a
+// comparison, or be routed through a shared meta helper (meta.PartIndex,
+// meta.AlignGran, ...) that decomposes it correctly. Likewise, raw `addr %
+// n` alignment guards with a non-constant divisor must go through
+// meta.Aligned so the intent (natural alignment) is explicit and the
+// zero-divisor case is handled in one place.
+type Alignment struct{}
+
+// Name implements Analyzer.
+func (*Alignment) Name() string { return "alignment" }
+
+// Doc implements Analyzer.
+func (*Alignment) Doc() string {
+	return "addr+size sums used as addresses and raw addr%n guards; name the bound or use meta helpers"
+}
+
+// addrVocabulary marks an expression as address-flavoured.
+var addrVocabulary = []string{"addr", "base"}
+
+// sizeVocabulary marks an expression as size-flavoured.
+var sizeVocabulary = []string{"size", "len"}
+
+// boundVocabulary marks a variable name as an explicit exclusive bound.
+var boundVocabulary = []string{"end", "hi", "limit", "bound", "last"}
+
+var comparisonOps = map[token.Token]bool{
+	token.EQL: true, token.NEQ: true, token.LSS: true,
+	token.LEQ: true, token.GTR: true, token.GEQ: true,
+}
+
+// Check implements Analyzer.
+func (a *Alignment) Check(p *Package) []Finding {
+	var out []Finding
+	inspect(p, func(n ast.Node, stack []ast.Node) {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return
+		}
+		switch be.Op {
+		case token.ADD:
+			if f, ok := a.checkSum(p, be, stack); ok {
+				out = append(out, f)
+			}
+		case token.REM:
+			if f, ok := a.checkMod(p, be, stack); ok {
+				out = append(out, f)
+			}
+		}
+	})
+	return out
+}
+
+// checkSum flags addr-like + size-like sums that escape as raw addresses.
+func (a *Alignment) checkSum(p *Package, be *ast.BinaryExpr, stack []ast.Node) (Finding, bool) {
+	if p.Path == metaPath {
+		// The geometry package defines the decomposition helpers the rule
+		// points everyone else at.
+		return Finding{}, false
+	}
+	if !isUint64(p, be) {
+		return Finding{}, false
+	}
+	addrSide := a.flavoured(be.X, addrVocabulary) && !isConstant(p, be.X)
+	sizeSide := liveNameContains(p, be.Y, sizeVocabulary...)
+	if !addrSide || !sizeSide {
+		addrSide = a.flavoured(be.Y, addrVocabulary) && !isConstant(p, be.Y)
+		sizeSide = liveNameContains(p, be.X, sizeVocabulary...)
+		if !addrSide || !sizeSide {
+			return Finding{}, false
+		}
+	}
+	if a.escapesAsBound(p, stack) {
+		return Finding{}, false
+	}
+	return Finding{
+		Pos:  p.Fset.Position(be.Pos()),
+		Rule: a.Name(),
+		Msg:  "addr+size sum used as a raw address: assign it to an explicit bound (end/hi/...) or route it through a meta helper; sums are not proven 64B-aligned",
+	}, true
+}
+
+// checkMod flags addr % n alignment guards with a live divisor.
+func (a *Alignment) checkMod(p *Package, be *ast.BinaryExpr, stack []ast.Node) (Finding, bool) {
+	if !isUint64(p, be.X) || !a.flavoured(be.X, addrVocabulary) {
+		return Finding{}, false
+	}
+	if isConstant(p, be.Y) {
+		return Finding{}, false // constant divisors are magic-granularity's turf
+	}
+	// Inside meta itself the helper is allowed to spell the operation.
+	if p.Path == metaPath {
+		return Finding{}, false
+	}
+	_ = stack
+	return Finding{
+		Pos:  p.Fset.Position(be.Pos()),
+		Rule: a.Name(),
+		Msg:  "raw addr % n alignment guard; use meta.Aligned(addr, n) so natural-alignment intent is explicit",
+	}, true
+}
+
+// flavoured reports whether the expression's identifier vocabulary matches.
+func (a *Alignment) flavoured(e ast.Expr, vocab []string) bool {
+	return anyNameContains(leafNames(e), vocab...)
+}
+
+// escapesAsBound reports whether the innermost consumers of the sum treat
+// it as a bound rather than an address: comparison operand, argument to a
+// meta helper, or assignment to a bound-named variable. A trailing +-const
+// adjustment (addr+size-1) is climbed through first.
+func (a *Alignment) escapesAsBound(p *Package, stack []ast.Node) bool {
+	i := len(stack) - 1
+	for ; i >= 0; i-- {
+		switch v := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.BinaryExpr:
+			if comparisonOps[v.Op] {
+				return true
+			}
+			if (v.Op == token.ADD || v.Op == token.SUB) && (isConstant(p, v.X) || isConstant(p, v.Y)) {
+				continue // off-by-one adjustment around the sum
+			}
+			return false
+		case *ast.CallExpr:
+			return isMetaCall(p, v)
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				if id, ok := unparen(lhs).(*ast.Ident); ok {
+					if anyNameContains([]string{strings.ToLower(id.Name)}, boundVocabulary...) {
+						return true
+					}
+				}
+			}
+			return false
+		case *ast.ValueSpec:
+			for _, id := range v.Names {
+				if anyNameContains([]string{strings.ToLower(id.Name)}, boundVocabulary...) {
+					return true
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,211 @@
+// Package lint is the domain-aware static-analysis layer of the repository:
+// it type-checks the whole module with the standard library's go/parser,
+// go/ast and go/types (no external dependencies) and runs analyzers that
+// encode the protection engine's domain rules — named granularity constants
+// instead of magic literals, picosecond/cycle unit discipline, 64B address
+// alignment, and no silently dropped errors. cmd/mglint is the CLI driver;
+// the runtime counterpart of these compile-time rules is internal/check.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer hit.
+type Finding struct {
+	// Pos locates the offending expression.
+	Pos token.Position
+	// Rule is the analyzer rule name ("magic-granularity", ...).
+	Rule string
+	// Msg explains the finding and the suggested fix.
+	Msg string
+}
+
+// String renders the finding in the canonical file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: mglint/%s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// Analyzer is one domain rule checked over a package.
+type Analyzer interface {
+	// Name is the rule name used in findings and suppressions.
+	Name() string
+	// Doc is a one-line description for -help output.
+	Doc() string
+	// Check inspects one package and returns its findings.
+	Check(p *Package) []Finding
+}
+
+// Analyzers returns the full rule set in stable order.
+func Analyzers() []Analyzer {
+	return []Analyzer{
+		&MagicGranularity{},
+		&UnitMixing{},
+		&Alignment{},
+		&UncheckedReturn{},
+	}
+}
+
+// AnalyzerByName resolves a rule name.
+func AnalyzerByName(name string) (Analyzer, bool) {
+	for _, a := range Analyzers() {
+		if a.Name() == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Options configures a lint run.
+type Options struct {
+	// Load tunes module loading.
+	Load LoadOptions
+	// Rules restricts the rule set (nil = all).
+	Rules []string
+}
+
+// Run lints the module containing root and returns unsuppressed findings
+// sorted by position.
+func Run(root string, opts Options) ([]Finding, error) {
+	pkgs, err := Load(root, opts.Load)
+	if err != nil {
+		return nil, err
+	}
+	return Check(pkgs, opts.Rules)
+}
+
+// Check runs the (optionally restricted) rule set over loaded packages.
+func Check(pkgs []*Package, rules []string) ([]Finding, error) {
+	var analyzers []Analyzer
+	if len(rules) == 0 {
+		analyzers = Analyzers()
+	} else {
+		for _, name := range rules {
+			a, ok := AnalyzerByName(name)
+			if !ok {
+				return nil, fmt.Errorf("lint: unknown rule %q", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	var out []Finding
+	for _, p := range pkgs {
+		sup := suppressionsOf(p)
+		out = append(out, sup.malformed...)
+		for _, a := range analyzers {
+			for _, f := range a.Check(p) {
+				if sup.covers(f) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	// Nested expressions can hit one rule twice at one position; report once.
+	dedup := out[:0]
+	for i, f := range out {
+		if i > 0 && f == out[i-1] {
+			continue
+		}
+		dedup = append(dedup, f)
+	}
+	return dedup, nil
+}
+
+// IgnorePrefix introduces a suppression comment:
+//
+//	//lint:ignore mglint/<rule> <reason>
+//
+// placed on the offending line or the line directly above it. The reason is
+// mandatory; a directive without one is itself reported.
+const IgnorePrefix = "//lint:ignore "
+
+// suppressions maps file:line to the rule names suppressed there.
+type suppressions struct {
+	// byLine maps filename -> line -> rules.
+	byLine map[string]map[int][]string
+	// malformed collects directives without a rule or reason.
+	malformed []Finding
+}
+
+// suppressionsOf scans a package's comments for ignore directives. Each
+// directive covers its own source line and the following line, so both
+// end-of-line and line-above placement work.
+func suppressionsOf(p *Package) *suppressions {
+	s := &suppressions{byLine: map[string]map[int][]string{}}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, strings.TrimSpace(IgnorePrefix))
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 || !strings.HasPrefix(fields[0], "mglint/") {
+					s.malformed = append(s.malformed, Finding{
+						Pos:  pos,
+						Rule: "ignore-directive",
+						Msg:  "malformed suppression: want //lint:ignore mglint/<rule> <reason>",
+					})
+					continue
+				}
+				rule := strings.TrimPrefix(fields[0], "mglint/")
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					s.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], rule)
+				lines[pos.Line+1] = append(lines[pos.Line+1], rule)
+			}
+		}
+	}
+	return s
+}
+
+// covers reports whether the finding is suppressed. Malformed directives are
+// never treated as suppressions; they surface as findings of their own
+// through the driver (see Check).
+func (s *suppressions) covers(f Finding) bool {
+	for _, rule := range s.byLine[f.Pos.Filename][f.Pos.Line] {
+		if rule == f.Rule || rule == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// inspect walks every file of the package with a parent stack, calling fn
+// with each node and its ancestors (innermost last).
+func inspect(p *Package, fn func(n ast.Node, stack []ast.Node)) {
+	for _, f := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			fn(n, stack)
+			stack = append(stack, n)
+			return true
+		})
+	}
+}

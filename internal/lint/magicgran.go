@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// MagicGranularity flags raw granularity literals (64, 512, 4096, 32768 and
+// their mask forms 63, 511, 4095, 32767, in plain or 1<<n spelling) used in
+// address arithmetic on uint64 operands. The engine's correctness hangs on
+// the Eq. 1-4 shift/mask discipline; every such quantity has a named
+// constant in internal/meta (BlockSize, PartitionSize, ChunkSize, ...), and
+// a literal that drifts from the geometry corrupts a verification path
+// silently.
+type MagicGranularity struct{}
+
+// Name implements Analyzer.
+func (*MagicGranularity) Name() string { return "magic-granularity" }
+
+// Doc implements Analyzer.
+func (*MagicGranularity) Doc() string {
+	return "raw 64/512/4096/32768 (or mask/1<<n) literals in uint64 address math; use meta constants"
+}
+
+// granSuggestion names the meta constant for each magic value.
+var granSuggestion = map[uint64]string{
+	64:    "meta.BlockSize",
+	63:    "meta.BlockSize-1",
+	512:   "meta.PartitionSize (or meta.BlocksPerChunk)",
+	511:   "meta.PartitionSize-1 (or meta.BlocksPerChunk-1)",
+	4096:  "meta.Gran4K.Bytes()",
+	4095:  "meta.Gran4K.Bytes()-1",
+	32768: "meta.ChunkSize",
+	32767: "meta.ChunkSize-1",
+}
+
+// arithmetic ops whose operands form address math.
+var magicOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+	token.REM: true, token.AND: true, token.OR: true, token.XOR: true,
+	token.AND_NOT: true, token.SHL: true, token.SHR: true,
+}
+
+// Check implements Analyzer.
+func (a *MagicGranularity) Check(p *Package) []Finding {
+	if p.Path == metaPath {
+		// The geometry package defines the constants; its arithmetic is the
+		// single place allowed to spell the raw relationships.
+		return nil
+	}
+	var out []Finding
+	inspect(p, func(n ast.Node, stack []ast.Node) {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || !magicOps[be.Op] {
+			return
+		}
+		if inConstDecl(stack) {
+			return
+		}
+		for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+			lit, other := unparen(pair[0]), pair[1]
+			if !a.magicSyntax(lit) {
+				continue
+			}
+			v, ok := constUint(p, lit)
+			if !ok {
+				continue
+			}
+			hint, magic := granSuggestion[v]
+			if !magic {
+				continue
+			}
+			// Only when the sibling operand is a live (non-constant) uint64
+			// is this address math; int-typed loop/bit arithmetic (e.g.
+			// 64 bits per word) is out of scope.
+			if isConstant(p, other) || !isUint64(p, other) {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:  p.Fset.Position(lit.Pos()),
+				Rule: a.Name(),
+				Msg:  fmt.Sprintf("magic granularity literal %d in uint64 address math; use %s", v, hint),
+			})
+		}
+	})
+	return out
+}
+
+// magicSyntax reports whether the expression is spelled as a raw literal or
+// a 1<<n shift — the forms the rule targets. References to named constants
+// are what the rule asks for and are never flagged.
+func (a *MagicGranularity) magicSyntax(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		return v.Kind == token.INT
+	case *ast.BinaryExpr:
+		if v.Op != token.SHL {
+			return false
+		}
+		lhs, ok := unparen(v.X).(*ast.BasicLit)
+		return ok && lhs.Kind == token.INT
+	}
+	return false
+}

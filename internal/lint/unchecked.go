@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// UncheckedReturn flags calls inside internal/ whose error result is
+// silently dropped (a bare call statement, or a go/defer of one). The
+// simulator's functional layer (secmem persistence, trace parsing) reports
+// tampering and corruption through error returns; dropping one turns an
+// integrity violation into silent acceptance — the exact failure mode the
+// protection engine exists to prevent. Explicitly discarding with `_ =` is
+// allowed: it is a visible decision.
+type UncheckedReturn struct{}
+
+// Name implements Analyzer.
+func (*UncheckedReturn) Name() string { return "unchecked-return" }
+
+// Doc implements Analyzer.
+func (*UncheckedReturn) Doc() string {
+	return "dropped error results inside internal/ packages"
+}
+
+// exemptReceivers lists receiver types whose error results are vacuous:
+// hash.Hash.Write is documented to never fail, and the in-memory buffer
+// writers grow instead of erroring.
+var exemptReceivers = []string{"bytes.Buffer", "strings.Builder", "hash.Hash"}
+
+// Check implements Analyzer.
+func (a *UncheckedReturn) Check(p *Package) []Finding {
+	if !strings.Contains(p.Path, "/internal/") {
+		return nil
+	}
+	var out []Finding
+	report := func(call *ast.CallExpr, how string) {
+		if !a.returnsError(p, call) || a.exempt(p, call) {
+			return
+		}
+		out = append(out, Finding{
+			Pos:  p.Fset.Position(call.Pos()),
+			Rule: a.Name(),
+			Msg:  fmt.Sprintf("%s drops an error result; handle it or discard explicitly with _ =", how),
+		})
+	}
+	inspect(p, func(n ast.Node, stack []ast.Node) {
+		switch v := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := unparen(v.X).(*ast.CallExpr); ok {
+				report(call, "call statement")
+			}
+		case *ast.GoStmt:
+			report(v.Call, "go statement")
+		case *ast.DeferStmt:
+			report(v.Call, "defer statement")
+		}
+	})
+	return out
+}
+
+// returnsError reports whether any result of the call is an error.
+func (a *UncheckedReturn) returnsError(p *Package, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// exempt reports callees whose dropped errors are conventional: the fmt
+// printing family and writers that cannot fail. The receiver check uses the
+// static type of the receiver expression (not the method's declared
+// receiver) so hash.Hash — which inherits Write from io.Writer — is
+// recognized.
+func (a *UncheckedReturn) exempt(p *Package, call *ast.CallExpr) bool {
+	f := calleeFunc(p, call)
+	if f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+		return true
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := p.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	recv := strings.TrimPrefix(tv.Type.String(), "*")
+	for _, ex := range exemptReceivers {
+		if recv == ex {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// UnitMixing enforces the picosecond discipline of internal/sim: sim.Time
+// carries picoseconds, and cycle counts must pass through the conversion
+// constants (sim.PsPer*Cycle) or sim.Clock helpers before entering the time
+// domain. Two shapes are flagged:
+//
+//  1. arithmetic combining a live sim.Time operand with a bare numeric
+//     literal — a raw number next to a Time is a cycle count or an
+//     uncalibrated delay, and it should be spelled through a PsPer*
+//     constant so the clock domain is explicit;
+//  2. sim.Time(x) conversions where x mentions no time-flavoured quantity
+//     (ps/time/cycle/latency/...) — converting a raw count straight into
+//     picoseconds skips the clock-period multiply.
+type UnitMixing struct{}
+
+// Name implements Analyzer.
+func (*UnitMixing) Name() string { return "unit-mixing" }
+
+// Doc implements Analyzer.
+func (*UnitMixing) Doc() string {
+	return "sim.Time picoseconds mixed with raw cycle counts; convert via sim.PsPer* or sim.Clock"
+}
+
+// timeVocabulary marks an expression as already time-flavoured: it mentions
+// a picosecond quantity, a clock, or a latency. Conversions of such
+// expressions into sim.Time are unit-correct relabelings, not mixing.
+var timeVocabulary = []string{"ps", "time", "cycle", "clock", "lat", "dur", "period", "deadline", "window", "gap"}
+
+// Only addition and subtraction mix units: scaling a Time by a
+// dimensionless factor (t/8, 2*t) stays in picoseconds.
+var mixOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+}
+
+// Check implements Analyzer.
+func (a *UnitMixing) Check(p *Package) []Finding {
+	if p.Path == simPath {
+		// The time base itself defines the conversions.
+		return nil
+	}
+	var out []Finding
+	inspect(p, func(n ast.Node, stack []ast.Node) {
+		switch v := n.(type) {
+		case *ast.BinaryExpr:
+			if f, ok := a.checkBinary(p, v); ok {
+				out = append(out, f)
+			}
+		case *ast.CallExpr:
+			if f, ok := a.checkConversion(p, v); ok {
+				out = append(out, f)
+			}
+		}
+	})
+	return out
+}
+
+// checkBinary flags `t + 1000`-style arithmetic: a live sim.Time operand
+// combined with a bare literal.
+func (a *UnitMixing) checkBinary(p *Package, be *ast.BinaryExpr) (Finding, bool) {
+	if !mixOps[be.Op] {
+		return Finding{}, false
+	}
+	for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		t, lit := pair[0], unparen(pair[1])
+		if !isSimTime(p, t) || isConstant(p, t) {
+			continue
+		}
+		bl, ok := lit.(*ast.BasicLit)
+		if !ok || (bl.Kind != token.INT && bl.Kind != token.FLOAT) {
+			continue
+		}
+		if v, ok := constUint(p, lit); ok && (v == 0 || v == 1) {
+			continue // zero checks and off-by-one nudges carry no unit
+		}
+		return Finding{
+			Pos:  p.Fset.Position(bl.Pos()),
+			Rule: a.Name(),
+			Msg:  fmt.Sprintf("bare literal %s combined with sim.Time; spell the delay through sim.PsPer*Cycle or a *Ps constant", bl.Value),
+		}, true
+	}
+	return Finding{}, false
+}
+
+// checkConversion flags sim.Time(x) where x carries no time vocabulary.
+func (a *UnitMixing) checkConversion(p *Package, call *ast.CallExpr) (Finding, bool) {
+	if len(call.Args) != 1 {
+		return Finding{}, false
+	}
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || !isSimTimeType(tv.Type) {
+		return Finding{}, false
+	}
+	arg := call.Args[0]
+	if isConstant(p, arg) {
+		return Finding{}, false // constant delays are calibration inputs
+	}
+	if anyNameContains(leafNames(arg), timeVocabulary...) {
+		return Finding{}, false
+	}
+	return Finding{
+		Pos:  p.Fset.Position(call.Pos()),
+		Rule: a.Name(),
+		Msg:  "sim.Time conversion of a raw count; route through a *Ps quantity or sim.Clock.Cycles so the clock domain is explicit",
+	}, true
+}

@@ -1,6 +1,10 @@
 package meta
 
-import "fmt"
+import (
+	"fmt"
+
+	"unimem/internal/check"
+)
 
 // Geometry lays out the protected data region and its security metadata:
 // the compacted MAC region (Eq. 1), the 8-ary counter tree levels
@@ -143,7 +147,17 @@ func (g *Geometry) MACAddr(chunkIdx uint64, slot int) uint64 {
 // MACAddrFor resolves the MAC address and stored-MAC granularity for a data
 // address under a chunk encoding.
 func (g *Geometry) MACAddrFor(addr uint64, sp StreamPart) (uint64, Gran) {
-	slot, gran := sp.MACSlot(BlockInChunk(addr))
+	b := BlockInChunk(addr)
+	slot, gran := sp.MACSlot(b)
+	if check.Enabled {
+		// Fig. 9 compaction: a resolved slot must fall inside the occupied
+		// prefix of the chunk's fixed reservation, and the granularity
+		// stored there must agree with the encoding's view of the block.
+		check.Assertf(slot >= 0 && slot < sp.SlotsUsed(),
+			"MAC slot %d outside compacted prefix %d (encoding %#x)", slot, sp.SlotsUsed(), uint64(sp))
+		check.Assertf(gran == sp.GranOfBlock(b),
+			"MAC slot granularity %v disagrees with encoding %v for block %d", gran, sp.GranOfBlock(b), b)
+	}
 	return g.MACAddr(ChunkIndex(addr), slot), gran
 }
 

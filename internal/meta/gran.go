@@ -111,3 +111,11 @@ func BlockInChunk(addr uint64) int { return int(addr%ChunkSize) / BlockSize }
 
 // AlignGran returns addr rounded down to a g-sized boundary.
 func AlignGran(addr uint64, g Gran) uint64 { return addr &^ (g.Bytes() - 1) }
+
+// AlignBlock returns addr rounded down to its 64B block boundary.
+func AlignBlock(addr uint64) uint64 { return addr &^ (BlockSize - 1) }
+
+// Aligned reports whether addr is naturally aligned to n bytes. n need not
+// be a power of two (bus natural alignment is size-modulo); a zero n never
+// counts as aligned.
+func Aligned(addr, n uint64) bool { return n != 0 && addr%n == 0 }

@@ -1,5 +1,7 @@
 package meta
 
+import "unimem/internal/check"
+
 // Table is the granularity table of paper section 4.4: per 32KB chunk it
 // stores the current granularity encoding and, to support lazy granularity
 // switching, the next (detected but not yet applied) encoding. The table
@@ -79,9 +81,36 @@ func (t *Table) CommitUnit(chunk uint64, b int) (from, to Gran) {
 	first := p &^ (parts - 1)
 	mask := maskRange(first, parts)
 	merged := cur&^mask | next&mask
+	// An incremental commit must not coarsen its neighbours by accident:
+	// the encoding cannot distinguish eight individually promoted 512B
+	// partitions from one 4KB unit (an 0xff group), nor 64 of them from a
+	// 32KB chunk, so completing such a pattern bit by bit would silently
+	// reinterpret metadata that was laid out under the old encoding. When a
+	// commit would complete the coarser pattern without the next encoding
+	// actually asking for it, widen the commit to take the whole enclosing
+	// group (or chunk) from next — which by construction does not form the
+	// pattern. The widened partitions just see their own pending switches
+	// applied early.
+	if merged == AllStream && next != AllStream {
+		merged = next
+	} else if g := p / 8; merged.groupBits(g) == 0xff && next.groupBits(g) != 0xff && next != AllStream {
+		gm := maskRange(g*8, 8)
+		merged = merged&^gm | next&gm
+	}
+	if check.Enabled {
+		// Table well-formedness after a lazy commit: the committed unit now
+		// carries its target granularity (the span covered the coarser of
+		// the two encodings), and the switch for this unit is fully applied.
+		check.Assertf(merged.GranOf(p) == to,
+			"commit of chunk %d part %d landed at %v, want %v (cur=%#x next=%#x)",
+			chunk, p, merged.GranOf(p), to, uint64(cur), uint64(next))
+	}
 	t.cur[chunk] = merged
 	if merged == next {
 		delete(t.next, chunk)
+	}
+	if check.Enabled {
+		check.Assertf(!t.Pending(chunk, b), "chunk %d block %d still pending after commit", chunk, b)
 	}
 	return from, to
 }

@@ -133,3 +133,40 @@ func TestCommitConvergesProperty(t *testing.T) {
 		}
 	}
 }
+
+// A partial commit must never complete a coarser pattern the next encoding
+// did not ask for: with partitions 24..30 already streaming, promoting
+// partition 31 alone would set the group to 0xff — which the encoding
+// defines as a 4KB unit — silently reinterpreting metadata laid out as
+// eight 512B partitions. Such commits widen to take the whole group from
+// next instead (a regression fixed alongside the invariants layer).
+func TestCommitDoesNotAccidentallyCoarsen(t *testing.T) {
+	tb := NewTable()
+	cur := StreamPart(0x7f) << 24  // group 3: partitions 24..30 stream
+	next := StreamPart(0x80) << 24 // group 3: only partition 31 streams
+	tb.SetNext(3, cur)
+	tb.CommitAll(3)
+	tb.SetNext(3, next)
+
+	p := 31
+	from, to := tb.CommitUnit(3, p*BlocksPerPartition)
+	if from != Gran64 || to != Gran512 {
+		t.Fatalf("commit = %v->%v, want 64B->512B", from, to)
+	}
+	if g := tb.Current(3).GranOf(p); g != Gran512 {
+		t.Fatalf("partition %d at %v after commit, want 512B", p, g)
+	}
+
+	// The chunk-level analogue: completing the last group of an otherwise
+	// fully streaming chunk must not form AllStream (= one 32KB unit).
+	tb2 := NewTable()
+	cur2 := AllStream &^ (StreamPart(0x80) << 56) // all but partition 63
+	next2 := StreamPart(0x80) << 56               // only partition 63
+	tb2.SetNext(4, cur2)
+	tb2.CommitAll(4)
+	tb2.SetNext(4, next2)
+	tb2.CommitUnit(4, 63*BlocksPerPartition)
+	if g := tb2.Current(4).GranOf(63); g != Gran512 {
+		t.Fatalf("partition 63 at %v after commit, want 512B", g)
+	}
+}

@@ -12,6 +12,7 @@ package tree
 
 import (
 	"unimem/internal/cache"
+	"unimem/internal/check"
 	"unimem/internal/meta"
 )
 
@@ -81,7 +82,7 @@ func New(geom *meta.Geometry, metaCache *cache.Cache, cfg Config) *Walker {
 }
 
 func (w *Walker) subtreeID(blockIdx uint64) uint64 {
-	return blockIdx >> (3 * uint(w.cfg.SubtreeLevel)) * 64 // one pseudo-line per subtree
+	return blockIdx >> (3 * uint(w.cfg.SubtreeLevel)) * meta.BlockSize // one pseudo-line per subtree
 }
 
 // MarkTouched records that the chunk holding blockIdx now has live tree
@@ -117,9 +118,26 @@ func (w *Walker) Read(blockIdx uint64, startLevel int) Walk {
 		if hit {
 			return walk // cached node is trusted; verification stops
 		}
+		if check.Enabled {
+			w.assertFetch(&walk, addr)
+		}
 		walk.Fetches = append(walk.Fetches, addr)
 	}
 	return walk
+}
+
+// assertFetch checks (under -tags invariants) that a fetched counter line
+// lies inside the counter region and strictly above the walk's previous
+// fetch: the walk ascends level by level, and each stored level's line
+// array is laid out above the one below it (Eq. 4), so a non-monotonic
+// fetch sequence means the address computation is wrong.
+func (w *Walker) assertFetch(walk *Walk, addr uint64) {
+	check.Assertf(addr >= w.geom.CounterBase && addr < w.geom.GTBase,
+		"counter fetch %#x outside counter region [%#x, %#x)", addr, w.geom.CounterBase, w.geom.GTBase)
+	if n := len(walk.Fetches); n > 0 {
+		check.Assertf(addr > walk.Fetches[n-1],
+			"tree walk not ascending: %#x fetched after %#x", addr, walk.Fetches[n-1])
+	}
 }
 
 // Write walks the tree for a dirty-eviction write: every level from the
@@ -140,6 +158,9 @@ func (w *Walker) Write(blockIdx uint64, startLevel int) Walk {
 			walk.Writebacks++
 		}
 		if !hit {
+			if check.Enabled {
+				w.assertFetch(&walk, addr)
+			}
 			walk.Fetches = append(walk.Fetches, addr)
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"unimem/internal/meta"
 	"unimem/internal/sim"
 )
 
@@ -110,7 +111,7 @@ func ReadTrace(r io.Reader, name string) (Generator, error) {
 			}
 			req.Dep = true
 		}
-		if req.Addr%64 != 0 || req.Size <= 0 || req.Size%64 != 0 {
+		if !meta.Aligned(req.Addr, meta.BlockSize) || req.Size <= 0 || req.Size%meta.BlockSize != 0 {
 			return nil, fmt.Errorf("trace line %d: address/size must be 64B aligned", lineNo)
 		}
 		if gap < 0 {

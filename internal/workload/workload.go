@@ -343,6 +343,7 @@ func (g *gen) randomStep() Request {
 	if g.p.RandomRun > 1 {
 		// Continue sequentially for RandomRun transactions total.
 		g.runLeft = g.p.RandomRun - 1
+		//lint:ignore mglint/alignment the run continues at the end of this naturally-aligned transaction, which is itself size-aligned
 		g.runAddr = addr + uint64(size)
 	}
 	return Request{
@@ -356,11 +357,11 @@ func (g *gen) randomStep() Request {
 
 // gap jitters the mean compute gap by +/-50% to avoid lockstep artifacts.
 func (g *gen) gap() sim.Time {
-	mean := int64(g.p.GapPs)
-	if mean <= 0 {
+	meanPs := int64(g.p.GapPs)
+	if meanPs <= 0 {
 		return 0
 	}
-	return sim.Time(mean/2 + int64(g.rnd.rangeN(uint64(mean))))
+	return sim.Time(meanPs/2 + int64(g.rnd.rangeN(uint64(meanPs))))
 }
 
 // Collect drains a generator into a slice (for analysis tools and tests).

@@ -7,7 +7,9 @@ import (
 	"unimem/internal/workload"
 )
 
-func simTime(v int64) sim.Time { return sim.Time(v) }
+// simTime stamps a raw picosecond count (the functional layer's logical
+// clock) as a sim.Time.
+func simTime(ps int64) sim.Time { return sim.Time(ps) }
 
 // Scheme selects a simulated protection scheme (paper Table 5 plus the
 // ablations of Fig. 6 / Fig. 20).
