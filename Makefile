@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test test-race test-invariants fuzz
+.PHONY: check fmt vet lint build test test-race test-race-sweep test-invariants fuzz
 
-check: fmt vet lint build test
+check: fmt vet lint build test test-race-sweep
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -26,6 +26,11 @@ test:
 
 test-race:
 	$(GO) test -race ./internal/...
+
+# The parallel sweep engine's determinism, cancellation and shared-warmup
+# tests under the race detector (also part of `check`).
+test-race-sweep:
+	$(GO) test -race -run 'TestSweepParallel|TestBestStatic|TestProfileTable' ./internal/hetero/
 
 test-invariants:
 	$(GO) test -tags invariants ./...

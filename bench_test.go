@@ -12,6 +12,8 @@ package unimem
 // complete 250-scenario space.
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"unimem/internal/core"
@@ -238,6 +240,32 @@ func BenchmarkFig21RealWorld(b *testing.B) {
 	b.ReportMetric(finOurs, "finance-ours-pct")
 	b.ReportMetric(finBMF, "finance-bmf+ours-pct")
 }
+
+// benchSweepWorkers runs the Fig. 15-style sweep on the parallel engine
+// with a fixed worker count; comparing the Workers1 and WorkersMax
+// variants measures the scheduler's wall-clock speedup (>=2x on a
+// multi-core runner; the two coincide on one CPU). Results are asserted
+// identical by TestSweepParallelMatchesSequential in internal/hetero.
+func benchSweepWorkers(b *testing.B, workers int) {
+	if testing.Short() {
+		b.Skip("scenario sweeps are skipped in -short mode")
+	}
+	scs := hetero.SampleScenarios(8)
+	schemes := []core.Scheme{core.Conventional, core.Ours}
+	cfg := benchCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hetero.SweepParallel(context.Background(), scs, schemes, cfg, hetero.SweepOptions{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepWorkers1 is the sequential-equivalent baseline.
+func BenchmarkSweepWorkers1(b *testing.B) { benchSweepWorkers(b, 1) }
+
+// BenchmarkSweepWorkersMax uses one worker per CPU.
+func BenchmarkSweepWorkersMax(b *testing.B) { benchSweepWorkers(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkProtectedWrite measures the functional layer's write path
 // (real AES-CTR + HMAC + tree reseal).

@@ -3,9 +3,11 @@
 // Fig. 15/17 CDFs — the "take the data elsewhere" workflow.
 //
 //	go run ./examples/sweep -n 24 -scale 0.1 > sweep.csv
+//	go run ./examples/sweep -n 0 -workers 8 > full.csv   # parallel full sweep
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -19,6 +21,7 @@ func main() {
 	n := flag.Int("n", 12, "number of scenarios (0 = all 250)")
 	scale := flag.Float64("scale", 0.08, "trace-length scale")
 	seed := flag.Uint64("seed", 1, "trace seed")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = all CPUs)")
 	flag.Parse()
 
 	schemes := []unimem.Scheme{
@@ -26,7 +29,20 @@ func main() {
 		unimem.Adaptive, unimem.CommonCTR, unimem.BMFUnused, unimem.BMFUnusedOurs,
 	}
 	cfg := unimem.SimConfig{Scale: *scale, Seed: *seed}
-	results := unimem.Sweep(unimem.SampleScenarios(*n), schemes, cfg)
+	results, err := unimem.SweepParallel(context.Background(), unimem.SampleScenarios(*n), schemes, cfg,
+		unimem.SweepOptions{
+			Workers: *workers,
+			Progress: func(p unimem.SweepProgress) {
+				fmt.Fprintf(os.Stderr, "\rsweep: %d/%d", p.Done, p.Total)
+				if p.Done == p.Total {
+					fmt.Fprintln(os.Stderr)
+				}
+			},
+		})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()

@@ -1,6 +1,8 @@
 package hetero
 
 import (
+	"context"
+
 	"unimem/internal/core"
 	"unimem/internal/stats"
 )
@@ -21,16 +23,29 @@ type Normalized struct {
 	Raw RunResult
 }
 
-// Normalize relates a scheme run to its unsecured baseline.
+// Normalize relates a scheme run to its unsecured baseline. A device with
+// a zero-length baseline trace (FinishPs == 0) has nothing to normalize
+// against: it reports the neutral ratio 1 and stays out of the mean, so an
+// empty trace can never leak NaN/Inf through stats.Mean into sweep
+// aggregates.
 func Normalize(res, unsecure RunResult) Normalized {
 	n := Normalized{Scenario: res.Scenario, Scheme: res.Scheme, Raw: res}
 	var xs []float64
 	for i := range res.Devices {
-		ratio := float64(res.Devices[i].FinishPs) / float64(unsecure.Devices[i].FinishPs)
+		den := float64(unsecure.Devices[i].FinishPs)
+		if den <= 0 {
+			n.PerDevice[i] = 1
+			continue
+		}
+		ratio := float64(res.Devices[i].FinishPs) / den
 		n.PerDevice[i] = ratio
 		xs = append(xs, ratio)
 	}
-	n.Mean = stats.Mean(xs)
+	if len(xs) == 0 {
+		n.Mean = 1 // every device idle: protection changed nothing
+	} else {
+		n.Mean = stats.Mean(xs)
+	}
 	if unsecure.TotalBytes > 0 {
 		n.TrafficRatio = float64(res.TotalBytes) / float64(unsecure.TotalBytes)
 	}
@@ -46,21 +61,19 @@ type SweepResult struct {
 }
 
 // Sweep runs each scenario under the unsecured baseline plus every
-// requested scheme. This is the engine behind Figures 15-19.
+// requested scheme. It is a compatible wrapper over SweepParallel (which
+// produces identical results at any worker count); callers that need
+// cancellation, progress reporting or an explicit worker count use
+// SweepParallel directly.
 func Sweep(scs []Scenario, schemes []core.Scheme, cfg Config) []SweepResult {
-	out := make([]SweepResult, 0, len(scs))
-	for _, sc := range scs {
-		base := Run(sc, core.Unsecure, cfg)
-		sr := SweepResult{Scenario: sc, Unsecure: base, ByScheme: map[core.Scheme]Normalized{}}
-		for _, s := range schemes {
-			if s == core.Unsecure {
-				continue
-			}
-			sr.ByScheme[s] = Normalize(Run(sc, s, cfg), base)
-		}
-		out = append(out, sr)
+	rs, err := SweepParallel(context.Background(), scs, schemes, cfg, SweepOptions{})
+	if err != nil {
+		// The background context never cancels, so the only error source
+		// is a panicking simulation run — surface it like the sequential
+		// sweep did.
+		panic(err)
 	}
-	return out
+	return rs
 }
 
 // MeanAcross returns the mean normalized execution time of a scheme over a
@@ -101,15 +114,27 @@ func TrafficRatioAcross(rs []SweepResult, s core.Scheme) float64 {
 
 // MissRatioAcross returns the mean security-cache-miss count of scheme s
 // relative to scheme base over a sweep (Fig. 16/18 normalize misses to a
-// reference scheme).
+// reference scheme). The unsecured baseline is stored in
+// SweepResult.Unsecure rather than ByScheme, so either side being
+// core.Unsecure reads from there instead of silently missing the map.
 func MissRatioAcross(rs []SweepResult, s, base core.Scheme) float64 {
 	var xs []float64
 	for _, r := range rs {
-		n, ok := r.ByScheme[s]
-		b, ok2 := r.ByScheme[base]
-		if ok && ok2 && b.Raw.SecCacheMisses > 0 {
-			xs = append(xs, float64(n.Raw.SecCacheMisses)/float64(b.Raw.SecCacheMisses))
+		n, ok := secMissesOf(r, s)
+		b, ok2 := secMissesOf(r, base)
+		if ok && ok2 && b > 0 {
+			xs = append(xs, float64(n)/float64(b))
 		}
 	}
 	return stats.Mean(xs)
+}
+
+// secMissesOf extracts a scheme's security-cache misses from a sweep
+// entry, resolving core.Unsecure to the stored baseline run.
+func secMissesOf(r SweepResult, s core.Scheme) (uint64, bool) {
+	if s == core.Unsecure {
+		return r.Unsecure.SecCacheMisses, true
+	}
+	n, ok := r.ByScheme[s]
+	return n.Raw.SecCacheMisses, ok
 }

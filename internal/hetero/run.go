@@ -2,7 +2,6 @@ package hetero
 
 import (
 	"fmt"
-	"sync"
 
 	"unimem/internal/core"
 	"unimem/internal/cpu"
@@ -176,12 +175,50 @@ func buildDevices(eng *sim.Engine, en *core.Engine, sc Scenario, cfg Config) ([4
 	return devs, classes, issued
 }
 
+// --- memoized warmup passes ----------------------------------------------
+//
+// Static-device-best and Per-partition-best need an expensive warmup before
+// the measured run: an exhaustive per-granularity standalone search, or a
+// full oracle profiling pass. Both are pure functions of (workload-or-
+// scenario, Config), so they are memoized under the full config fingerprint
+// with singleflight semantics — the parallel sweep engine runs each warmup
+// once no matter how many workers need it, and configs differing in Seed,
+// RegionBytes, Mem or Engine never share entries.
+
+var (
+	staticBest       memo[meta.Gran]
+	profiledScenario memo[*meta.Table]
+	profiledAlone    memo[*meta.Table]
+)
+
+// resetWarmupCaches clears the memoized warmup passes (test hook).
+func resetWarmupCaches() {
+	staticBest.reset()
+	profiledScenario.reset()
+	profiledAlone.reset()
+}
+
+// warmupOpts derives the engine options of a warmup pass from the caller's
+// config: the warmup simulates the same engine (cache sizes, crypto
+// latencies, tracker) but owns its scheme-specific fields.
+func warmupOpts(cfg Config) core.Options {
+	o := cfg.Engine
+	o.Devices = 4
+	o.StaticGran = nil
+	o.FixedTable = nil
+	return o
+}
+
 // profileTable runs the scenario once under Ours and returns the detected
 // granularity table with all pending switches committed — the
-// per-partition-best oracle of Fig. 6.
+// per-partition-best oracle of Fig. 6. The profiling pass is memoized per
+// (scenario workloads, config); each caller gets its own copy so the
+// engine owning it can never corrupt the shared profile.
 func profileTable(sc Scenario, cfg Config) *meta.Table {
-	res := RunWithTable(sc, cfg)
-	return res
+	cfg = cfg.filled()
+	key := fmt.Sprintf("%v|%s", sc.Workloads(), cfg.fingerprint())
+	t := profiledScenario.do(key, func() *meta.Table { return RunWithTable(sc, cfg) })
+	return t.CloneCommitted()
 }
 
 // RunWithTable performs the oracle profiling pass.
@@ -189,7 +226,7 @@ func RunWithTable(sc Scenario, cfg Config) *meta.Table {
 	cfg = cfg.filled()
 	eng := sim.NewEngine()
 	mm := mem.New(eng, *cfg.Mem)
-	en := core.New(eng, mm, cfg.RegionBytes, core.Ours, core.Options{Devices: 4})
+	en := core.New(eng, mm, cfg.RegionBytes, core.Ours, warmupOpts(cfg))
 	devs, _, _ := buildDevices(eng, en, sc, cfg)
 	for _, d := range devs {
 		d.Start()
@@ -200,9 +237,6 @@ func RunWithTable(sc Scenario, cfg Config) *meta.Table {
 }
 
 // --- static per-device exhaustive search ---------------------------------
-
-var staticBestMu sync.Mutex
-var staticBestCache = map[string]meta.Gran{}
 
 // BestStaticGrans runs each of the scenario's workloads standalone under
 // every static granularity and returns the per-device best (the
@@ -216,26 +250,21 @@ func BestStaticGrans(sc Scenario, cfg Config) []meta.Gran {
 	return out
 }
 
+// bestStaticFor memoizes the exhaustive search per (workload, device
+// index, config). The index is part of the key because it offsets the
+// trace seed and the device region base.
 func bestStaticFor(name string, index int, cfg Config) meta.Gran {
-	key := fmt.Sprintf("%s/%.3f", name, cfg.Scale)
-	staticBestMu.Lock()
-	if g, ok := staticBestCache[key]; ok {
-		staticBestMu.Unlock()
-		return g
-	}
-	staticBestMu.Unlock()
-
-	best, bestT := meta.Gran64, sim.MaxTime
-	for _, g := range meta.Grans {
-		t := staticStandaloneTime(name, index, g, cfg)
-		if t < bestT {
-			best, bestT = g, t
+	cfg = cfg.filled()
+	key := fmt.Sprintf("%s#%d|%s", name, index, cfg.fingerprint())
+	return staticBest.do(key, func() meta.Gran {
+		best, bestT := meta.Gran64, sim.MaxTime
+		for _, g := range meta.Grans {
+			if t := staticStandaloneTime(name, index, g, cfg); t < bestT {
+				best, bestT = g, t
+			}
 		}
-	}
-	staticBestMu.Lock()
-	staticBestCache[key] = best
-	staticBestMu.Unlock()
-	return best
+		return best
+	})
 }
 
 // staticStandaloneTime runs one workload alone under one static
@@ -247,7 +276,9 @@ func staticStandaloneTime(name string, index int, g meta.Gran, cfg Config) sim.T
 	for i := range static {
 		static[i] = g
 	}
-	en := core.New(eng, mm, cfg.RegionBytes, core.StaticDeviceBest, core.Options{Devices: 4, StaticGran: static})
+	opts := warmupOpts(cfg)
+	opts.StaticGran = static
+	en := core.New(eng, mm, cfg.RegionBytes, core.StaticDeviceBest, opts)
 	gen, err := workload.ByName(name, cfg.Scale, cfg.Seed+uint64(index)*7919)
 	if err != nil {
 		panic(err)
@@ -330,16 +361,22 @@ func standaloneDevice(eng *sim.Engine, en *core.Engine, name string, index int, 
 }
 
 // profileStandalone captures the detected granularity table of a
-// standalone Ours run (the per-partition-best oracle input of Fig. 6).
+// standalone Ours run (the per-partition-best oracle input of Fig. 6),
+// memoized like profileTable.
 func profileStandalone(name string, index int, cfg Config) *meta.Table {
-	eng := sim.NewEngine()
-	mm := mem.New(eng, *cfg.Mem)
-	en := core.New(eng, mm, cfg.RegionBytes, core.Ours, core.Options{Devices: 4})
-	d := standaloneDevice(eng, en, name, index, cfg)
-	d.Start()
-	eng.RunAll()
-	en.Finish()
-	return en.Table().CloneCommitted()
+	cfg = cfg.filled()
+	key := fmt.Sprintf("%s#%d|%s", name, index, cfg.fingerprint())
+	t := profiledAlone.do(key, func() *meta.Table {
+		eng := sim.NewEngine()
+		mm := mem.New(eng, *cfg.Mem)
+		en := core.New(eng, mm, cfg.RegionBytes, core.Ours, warmupOpts(cfg))
+		d := standaloneDevice(eng, en, name, index, cfg)
+		d.Start()
+		eng.RunAll()
+		en.Finish()
+		return en.Table().CloneCommitted()
+	})
+	return t.CloneCommitted()
 }
 
 // FilledMem returns the memory configuration a run would use (the Orin

@@ -6,6 +6,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -24,6 +25,11 @@ type Options struct {
 	Seed uint64
 	// SampleN caps the scenario sweep (0 = all 250).
 	SampleN int
+	// Workers caps sweep parallelism (0 = GOMAXPROCS). Results are
+	// identical at any worker count.
+	Workers int
+	// Progress, when set, receives per-run sweep progress updates.
+	Progress func(hetero.SweepProgress)
 }
 
 func (o Options) fill() Options {
@@ -201,15 +207,20 @@ func Table02(o Options) Figure {
 
 // sweep runs (and memoizes) a scheme sweep: Fig. 15/16 and Fig. 17/18
 // share their scenario sweeps, so regenerating all experiments does each
-// expensive sweep once.
+// expensive sweep once. Sweeps run on the parallel engine; Workers and
+// Progress stay out of the memo key because they cannot change results.
 func sweep(o Options, schemes []core.Scheme) []hetero.SweepResult {
-	key := fmt.Sprintf("%+v|%v", o, schemes)
+	key := fmt.Sprintf("scale=%g seed=%d n=%d|%v", o.Scale, o.Seed, o.SampleN, schemes)
 	sweepMu.Lock()
 	defer sweepMu.Unlock()
 	if rs, ok := sweepMemo[key]; ok {
 		return rs
 	}
-	rs := hetero.Sweep(o.scenarios(), schemes, o.cfg())
+	rs, err := hetero.SweepParallel(context.Background(), o.scenarios(), schemes, o.cfg(),
+		hetero.SweepOptions{Workers: o.Workers, Progress: o.Progress})
+	if err != nil {
+		panic(err) // background context: only a panicking run lands here
+	}
 	sweepMemo[key] = rs
 	return rs
 }

@@ -1,6 +1,8 @@
 package unimem
 
 import (
+	"context"
+
 	"unimem/internal/core"
 	"unimem/internal/hetero"
 	"unimem/internal/sim"
@@ -70,9 +72,24 @@ func RunNormalized(sc Scenario, s Scheme, cfg SimConfig) Normalized {
 }
 
 // Sweep runs scenarios across schemes with a shared unsecured baseline per
-// scenario (the engine behind Figures 15-19).
+// scenario (the engine behind Figures 15-19). It runs on the parallel
+// sweep engine with one worker per CPU; use SweepParallel for an explicit
+// worker count, cancellation, or progress reporting.
 func Sweep(scs []Scenario, schemes []Scheme, cfg SimConfig) []hetero.SweepResult {
 	return hetero.Sweep(scs, schemes, cfg)
+}
+
+// SweepOptions configures SweepParallel (worker count, progress callback).
+type SweepOptions = hetero.SweepOptions
+
+// SweepProgress is one progress update of a parallel sweep.
+type SweepProgress = hetero.SweepProgress
+
+// SweepParallel runs the sweep on a worker pool with deterministic,
+// sequential-identical results, context cancellation and optional progress
+// reporting.
+func SweepParallel(ctx context.Context, scs []Scenario, schemes []Scheme, cfg SimConfig, opts SweepOptions) ([]hetero.SweepResult, error) {
+	return hetero.SweepParallel(ctx, scs, schemes, cfg, opts)
 }
 
 // Pipeline is a Table 6 real-world application.
