@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test test-race test-race-sweep test-invariants fuzz
+.PHONY: check fmt vet lint build test test-race test-race-sweep test-invariants fuzz cover
 
 check: fmt vet lint build test test-race-sweep
 
@@ -34,6 +34,19 @@ test-race-sweep:
 
 test-invariants:
 	$(GO) test -tags invariants ./...
+
+# Coverage gate: run the suite with a profile and compare the total against
+# the checked-in floor (coverage-floor.txt). A drop of 2 points or more
+# fails; raise the floor when new tests push coverage up so it can't quietly
+# erode back. CI uploads coverage.out as an artifact.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	floor=$$(cat coverage-floor.txt); \
+	echo "total coverage: $$total% (floor $$floor%, tolerance 2.0)"; \
+	awk -v t="$$total" -v f="$$floor" 'BEGIN { \
+		if (t+0 <= f-2.0) { printf "coverage regressed >= 2 points below the floor (%.1f%% vs %.1f%%)\n", t, f; exit 1 } \
+		if (t+0 > f+2.0) { printf "note: coverage is %.1f%%; consider raising coverage-floor.txt\n", t } }'
 
 # Short fuzz pass over the three targets (seed corpus runs in plain `test`).
 fuzz:

@@ -19,6 +19,7 @@ import (
 	"unimem/internal/core"
 	"unimem/internal/hetero"
 	"unimem/internal/meta"
+	"unimem/internal/probe"
 	"unimem/internal/report"
 	"unimem/internal/stats"
 	"unimem/internal/workload"
@@ -311,4 +312,55 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		reqs = r.Switches.Total()
 	}
 	b.ReportMetric(float64(reqs), "classified-requests")
+}
+
+// BenchmarkProbeOff is the zero-cost-when-off guard for the observability
+// seam: the same cc1/Ours run as BenchmarkEngineThroughput with the probe
+// explicitly disabled. Every emission site in the engine reduces to one
+// predictable nil-check branch, so this must stay within measurement noise
+// (< 2% ns/op — well under run-to-run variance on a shared runner) of both
+// BenchmarkEngineThroughput and the pre-seam baseline recorded for
+// BenchmarkSweepWorkers1. Compare against BenchmarkProbeCollector /
+// BenchmarkProbeTrace for the enabled-path cost.
+func BenchmarkProbeOff(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Collect = false
+	cfg.NewProbe = nil
+	cfg.Engine.Probe = nil
+	sc := hetero.SelectedScenarios()[8] // cc1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hetero.Run(sc, core.Ours, cfg)
+	}
+}
+
+// BenchmarkProbeCollector measures the same run with the histogram
+// collector attached (the -breakdown path): the full event stream reduced
+// into a Summary. The delta over BenchmarkProbeOff is the price of
+// observability when it is actually on.
+func BenchmarkProbeCollector(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Collect = true
+	sc := hetero.SelectedScenarios()[8] // cc1
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		r := hetero.Run(sc, core.Ours, cfg)
+		events = r.Probe.Events
+	}
+	b.ReportMetric(float64(events), "events")
+}
+
+// BenchmarkProbeTrace measures the run with a bounded ring trace attached
+// (the -events path).
+func BenchmarkProbeTrace(b *testing.B) {
+	cfg := benchCfg()
+	cfg.NewProbe = func(hetero.Scenario, core.Scheme) probe.Probe {
+		return probe.NewTrace(4096)
+	}
+	sc := hetero.SelectedScenarios()[8] // cc1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hetero.Run(sc, core.Ours, cfg)
+	}
 }

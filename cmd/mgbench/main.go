@@ -14,7 +14,9 @@
 // ETA on stderr. Results are identical at any worker count.
 //
 // Experiment identifiers: fig04 fig05 fig06 table2 fig15 fig16 fig17
-// fig18 fig19 fig20 fig21.
+// fig18 fig19 fig20 fig21, plus the probe-backed extension experiments
+// ext-walklen (tree-walk length distribution) and ext-breakdown (DRAM
+// traffic split by metadata type).
 package main
 
 import (

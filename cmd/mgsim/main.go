@@ -5,41 +5,60 @@
 //
 //	mgsim -scenario cc1 -scheme Ours
 //	mgsim -cpu mcf -gpu mm -npu1 alex -npu2 dlrm -scheme "BMF&Unused+Ours"
+//	mgsim -scenario cc1 -scheme Ours -breakdown   # walk-length histogram +
+//	                                              # traffic split (probe)
+//	mgsim -scenario ff1 -scheme Ours -events 50   # dump the last 50 engine
+//	                                              # events as CSV
 //	mgsim -list
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"unimem/internal/core"
 	"unimem/internal/hetero"
+	"unimem/internal/mem"
+	"unimem/internal/probe"
 	"unimem/internal/stats"
 )
 
 func main() {
-	scenarioID := flag.String("scenario", "", "selected scenario id (ff1..cc3)")
-	cpuW := flag.String("cpu", "mcf", "CPU workload")
-	gpuW := flag.String("gpu", "mm", "GPU workload")
-	npu1 := flag.String("npu1", "alex", "first NPU workload")
-	npu2 := flag.String("npu2", "dlrm", "second NPU workload")
-	schemeName := flag.String("scheme", "Ours", "protection scheme (Table 5 name)")
-	scale := flag.Float64("scale", 0.15, "trace-length scale")
-	seed := flag.Uint64("seed", 1, "trace seed")
-	list := flag.Bool("list", false, "list scenarios and schemes, then exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command: it parses args, simulates, and
+// writes the report to stdout (errors to stderr), returning the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mgsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scenarioID := fs.String("scenario", "", "selected scenario id (ff1..cc3)")
+	cpuW := fs.String("cpu", "mcf", "CPU workload")
+	gpuW := fs.String("gpu", "mm", "GPU workload")
+	npu1 := fs.String("npu1", "alex", "first NPU workload")
+	npu2 := fs.String("npu2", "dlrm", "second NPU workload")
+	schemeName := fs.String("scheme", "Ours", "protection scheme (Table 5 name)")
+	scale := fs.Float64("scale", 0.15, "trace-length scale")
+	seed := fs.Uint64("seed", 1, "trace seed")
+	breakdown := fs.Bool("breakdown", false, "print walk-length histogram and traffic split (probe-collected)")
+	events := fs.Int("events", 0, "dump the last N engine events as CSV")
+	list := fs.Bool("list", false, "list scenarios and schemes, then exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		fmt.Println("selected scenarios:")
+		fmt.Fprintln(stdout, "selected scenarios:")
 		for _, sc := range hetero.SelectedScenarios() {
-			fmt.Printf("  %-4s %s + %s + %s + %s\n", sc.ID, sc.CPU, sc.GPU, sc.NPU1, sc.NPU2)
+			fmt.Fprintf(stdout, "  %-4s %s + %s + %s + %s\n", sc.ID, sc.CPU, sc.GPU, sc.NPU1, sc.NPU2)
 		}
-		fmt.Println("schemes:")
+		fmt.Fprintln(stdout, "schemes:")
 		for _, s := range core.Schemes {
-			fmt.Printf("  %s\n", s)
+			fmt.Fprintf(stdout, "  %s\n", s)
 		}
-		return
+		return 0
 	}
 
 	var scheme core.Scheme = -1
@@ -49,8 +68,8 @@ func main() {
 		}
 	}
 	if scheme < 0 {
-		fmt.Fprintf(os.Stderr, "unknown scheme %q (try -list)\n", *schemeName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown scheme %q (try -list)\n", *schemeName)
+		return 2
 	}
 
 	sc := hetero.Scenario{ID: "custom", CPU: *cpuW, GPU: *gpuW, NPU1: *npu1, NPU2: *npu2}
@@ -62,35 +81,92 @@ func main() {
 			}
 		}
 		if !found {
-			fmt.Fprintf(os.Stderr, "unknown scenario %q (try -list)\n", *scenarioID)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "unknown scenario %q (try -list)\n", *scenarioID)
+			return 2
 		}
 	}
 
 	cfg := hetero.Config{Scale: *scale, Seed: *seed}
 	base := hetero.Run(sc, core.Unsecure, cfg)
-	res := hetero.Run(sc, scheme, cfg)
+
+	// Probes attach to the measured scheme run only: the collector feeds
+	// -breakdown, the bounded ring trace feeds -events.
+	runCfg := cfg
+	runCfg.Collect = *breakdown
+	var trace *probe.EventTrace
+	if *events > 0 {
+		trace = probe.NewTrace(*events)
+		runCfg.NewProbe = func(hetero.Scenario, core.Scheme) probe.Probe { return trace }
+	}
+	res := hetero.Run(sc, scheme, runCfg)
 	n := hetero.Normalize(res, base)
 
-	fmt.Printf("scenario %s under %s (scale %.2f, seed %d)\n\n", sc.ID, scheme, *scale, *seed)
+	fmt.Fprintf(stdout, "scenario %s under %s (scale %.2f, seed %d)\n\n", sc.ID, scheme, *scale, *seed)
 	t := stats.NewTable("device", "workload", "exec us", "unsecure us", "normalized", "mean rd ns")
 	for i, d := range res.Devices {
 		t.Row(d.Class.String(), d.Name,
 			float64(d.FinishPs)/1e6, float64(base.Devices[i].FinishPs)/1e6, n.PerDevice[i],
 			res.EngineDev[i].MeanReadLatencyPs()/1000)
 	}
-	fmt.Println(t)
-	fmt.Printf("normalized execution time : %.3f\n", n.Mean)
-	fmt.Printf("traffic                   : %.2f MB (%.3fx unsecure; %.1f%% metadata)\n",
+	fmt.Fprintln(stdout, t)
+	fmt.Fprintf(stdout, "normalized execution time : %.3f\n", n.Mean)
+	fmt.Fprintf(stdout, "traffic                   : %.2f MB (%.3fx unsecure; %.1f%% metadata)\n",
 		float64(res.TotalBytes)/1e6, n.TrafficRatio, 100*float64(res.MetaBytes)/float64(res.TotalBytes))
-	fmt.Printf("security cache misses     : %d\n", res.SecCacheMisses)
-	fmt.Printf("mean tree-walk levels     : %.2f\n", res.MeanWalk)
-	fmt.Printf("granularity detections    : %d\n", res.Detections)
-	fmt.Printf("read latency p50/p90/p99  : %d / %d / %d ns (bucket upper bounds)\n",
+	fmt.Fprintf(stdout, "security cache misses     : %d\n", res.SecCacheMisses)
+	fmt.Fprintf(stdout, "mean tree-walk levels     : %.2f\n", res.MeanWalk)
+	fmt.Fprintf(stdout, "granularity detections    : %d\n", res.Detections)
+	fmt.Fprintf(stdout, "read latency p50/p90/p99  : %d / %d / %d ns (bucket upper bounds)\n",
 		res.Latency.Percentile(50), res.Latency.Percentile(90), res.Latency.Percentile(99))
 	sw := res.Switches
 	if sw.Total() > 0 {
-		fmt.Printf("switches                  : down=%d up(WAR/WAW/RAR/RAW)=%d/%d/%d/%d correct=%d\n",
+		fmt.Fprintf(stdout, "switches                  : down=%d up(WAR/WAW/RAR/RAW)=%d/%d/%d/%d correct=%d\n",
 			sw.DownAll, sw.UpWAR, sw.UpWAW, sw.UpRAR, sw.UpRAW, sw.Correct)
 	}
+	if *breakdown && res.Probe != nil {
+		printBreakdown(stdout, res.Probe)
+	}
+	if trace != nil {
+		fmt.Fprintf(stdout, "\nlast %d of %d engine events:\n", trace.Len(), trace.Seen())
+		if err := trace.WriteCSV(stdout); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// printBreakdown renders the probe summary: the Fig. 13-style walk-length
+// histogram and the Fig. 5-style traffic split by metadata type.
+func printBreakdown(w io.Writer, s *probe.Summary) {
+	fmt.Fprintf(w, "\nwalk-length histogram (%d walks, mean %.2f levels, %.1f%% pruned, %.1f%% subtree-stopped):\n",
+		s.Walks, s.MeanWalkLevels(), pctOf(s.Pruned, s.Walks), pctOf(s.SubtreeHits, s.Walks))
+	wt := stats.NewTable("levels", "walks", "share %")
+	for l, v := range s.WalkHist {
+		if v == 0 {
+			continue
+		}
+		wt.Row(l, v, pctOf(v, s.Walks))
+	}
+	fmt.Fprint(w, wt)
+
+	fmt.Fprintf(w, "\ntraffic breakdown (%.2f MB total):\n", float64(s.TotalBytes())/1e6)
+	tt := stats.NewTable("kind", "read MB", "write MB", "share %")
+	for k := mem.Data; int(k) < probe.NumTrafficKinds; k++ {
+		tr := s.Traffic[k]
+		tt.Row(k.String(),
+			float64(tr.ReadBeats*mem.BlockSize)/1e6,
+			float64(tr.WriteBeats*mem.BlockSize)/1e6,
+			100*s.TrafficShare(k))
+	}
+	fmt.Fprint(w, tt)
+	fmt.Fprintf(w, "overfetch beats: %d, MAC lookups/merges: %d/%d\n",
+		s.OverfetchBeats, s.MACFetches, s.MACMerges)
+}
+
+// pctOf returns 100*a/b guarding the idle case.
+func pctOf(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
 }

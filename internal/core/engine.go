@@ -5,6 +5,7 @@ import (
 	"unimem/internal/check"
 	"unimem/internal/mem"
 	"unimem/internal/meta"
+	"unimem/internal/probe"
 	"unimem/internal/sim"
 	"unimem/internal/tracker"
 	"unimem/internal/tree"
@@ -53,6 +54,14 @@ type Options struct {
 	// Tracker configures the access tracker (default: paper's 12 entries,
 	// 16K-cycle lifetime).
 	Tracker tracker.Config
+	// Probe, when non-nil, receives engine events (request issue/retire,
+	// tree walks, cache accesses, MAC fetches, granularity switches, DRAM
+	// beats — see internal/probe). The nil default is the production
+	// setting: every emission site is guarded by one nil check, so the
+	// disabled hot path carries only a dead branch (BenchmarkProbeOff).
+	// Probes observe without influencing timing, so attaching one never
+	// changes simulation results.
+	Probe probe.Probe
 }
 
 func (o *Options) fill() {
@@ -138,6 +147,8 @@ type Engine struct {
 	gtCache   *cache.Cache
 	openUnits *cache.Cache
 
+	prb probe.Probe // nil = observability off (the hot-path default)
+
 	shared       map[uint64]bool // CommonCTR shared-counter chunks
 	lastWrite    map[uint64]bool // last access type per chunk
 	writtenParts map[uint64]uint64
@@ -165,6 +176,7 @@ func New(se *sim.Engine, mm *mem.Memory, regionBytes uint64, scheme Scheme, opts
 		scheme:       scheme,
 		pol:          pol,
 		opts:         opts,
+		prb:          opts.Probe,
 		lastWrite:    map[uint64]bool{},
 		writtenParts: map[uint64]uint64{},
 		demoteVotes:  map[uint64]meta.StreamPart{},

@@ -4,6 +4,7 @@ import (
 	"unimem/internal/check"
 	"unimem/internal/mem"
 	"unimem/internal/meta"
+	"unimem/internal/probe"
 	"unimem/internal/sim"
 	"unimem/internal/tree"
 )
@@ -86,23 +87,31 @@ func (e *Engine) submitChunk(r Request, done func(sim.Time)) {
 	}
 	e.Stats.Requests++
 	e.recordIssue(r)
+	e.probeIssue(r)
+	issued := e.se.Now()
 	if r.Write {
 		e.Stats.Writes++
 	} else {
 		e.Stats.Reads++
-		issued := e.se.Now()
 		next := done
 		done = func(at sim.Time) {
 			e.recordReadLatency(r.Device, at-issued)
 			next(at)
 		}
 	}
+	if e.prb != nil {
+		next := done
+		done = func(at sim.Time) {
+			e.probeRetire(r, at, issued)
+			next(at)
+		}
+	}
 
 	if !e.pol.protect {
 		if r.Write {
-			e.mm.Write(r.Addr, r.Size, mem.Data, done)
+			e.memWrite(r.Device, r.Addr, r.Size, mem.Data, done)
 		} else {
-			e.mm.Read(r.Addr, r.Size, mem.Data, done)
+			e.memRead(r.Device, r.Addr, r.Size, mem.Data, done)
 		}
 		return
 	}
@@ -129,11 +138,12 @@ func (e *Engine) submitChunk(r Request, done func(sim.Time)) {
 	if e.pol.useTable {
 		gtAddr := e.geom.GTEntryAddr(chunk)
 		hit, wb := e.gtCache.Access(gtAddr, false)
+		e.probeCache(r.Device, probe.CacheGT, gtAddr, hit)
 		if wb {
-			e.mm.Write(gtAddr, 64, mem.GranTable, nil)
+			e.memWrite(r.Device, gtAddr, 64, mem.GranTable, nil)
 		}
 		if !hit {
-			e.mm.Read(gtAddr, 64, mem.GranTable, complete.Add())
+			e.memRead(r.Device, gtAddr, 64, mem.GranTable, complete.Add())
 		}
 	}
 
@@ -177,7 +187,9 @@ func (e *Engine) submitChunk(r Request, done func(sim.Time)) {
 		if covers {
 			return
 		}
-		if hit, _ := e.openUnits.Access(u.base, false); hit {
+		openHit, _ := e.openUnits.Access(u.base, false)
+		e.probeCache(r.Device, probe.CacheOpenUnit, u.base, openHit)
+		if openHit {
 			return // streaming continuation: already fetched/buffered
 		}
 		if r.Addr == u.base {
@@ -197,7 +209,7 @@ func (e *Engine) submitChunk(r Request, done func(sim.Time)) {
 			unitMask := partMask(chunkBase, u.base, int(u.gran.Bytes()))
 			if e.writtenParts[chunk]&unitMask == 0 {
 				fineLine := e.geom.MACLineAddr(chunk, int((r.Addr-chunkBase)/meta.BlockSize))
-				e.mm.Read(fineLine, 64, mem.MAC, complete.Add())
+				e.memRead(r.Device, fineLine, 64, mem.MAC, complete.Add())
 				return
 			}
 		}
@@ -226,6 +238,7 @@ func (e *Engine) submitChunk(r Request, done func(sim.Time)) {
 			e.table.SetNext(chunk, cur)
 			e.table.CommitAll(chunk)
 			e.Stats.Switches.MACDownRW++
+			e.probeSwitch(r, probe.SwMACDownRW)
 		}
 	}
 	// The retained-fine-MAC optimization belongs to the dynamic
@@ -239,6 +252,7 @@ func (e *Engine) submitChunk(r Request, done func(sim.Time)) {
 	overBeats := (int(hi-lo) - r.Size) / meta.BlockSize
 	if overBeats > 0 {
 		e.Stats.OverfetchBeats += uint64(overBeats)
+		e.probeOverfetch(r, overBeats)
 	}
 
 	// 6. Counter path: the first unit's tree walk is the serialized
@@ -254,6 +268,7 @@ func (e *Engine) submitChunk(r Request, done func(sim.Time)) {
 		}
 		blockIdx := meta.BlockIndex(u.base)
 		walk := e.walkUnit(blockIdx, u.gran, r.Write)
+		e.probeWalk(r, walk)
 		if check.Enabled {
 			// Counter delegation (Fig. 10): a unit whose counter was promoted
 			// to level gran.Level() skips exactly that many leaf levels, so
@@ -270,7 +285,7 @@ func (e *Engine) submitChunk(r Request, done func(sim.Time)) {
 			e.Stats.SubtreeHits++
 		}
 		for wbI := 0; wbI < walk.Writebacks; wbI++ {
-			e.mm.Write(e.geom.CounterLineAddr(0, blockIdx), 64, mem.Counter, nil)
+			e.memWrite(r.Device, e.geom.CounterLineAddr(0, blockIdx), 64, mem.Counter, nil)
 		}
 		if first && !r.Write {
 			for _, a := range walk.Fetches {
@@ -278,7 +293,7 @@ func (e *Engine) submitChunk(r Request, done func(sim.Time)) {
 			}
 		} else {
 			for _, a := range walk.Fetches {
-				e.mm.Read(a, 64, mem.Counter, complete.Add())
+				e.memRead(r.Device, a, 64, mem.Counter, complete.Add())
 			}
 		}
 		first = false
@@ -298,16 +313,20 @@ func (e *Engine) submitChunk(r Request, done func(sim.Time)) {
 		if lineAddr != lastLine {
 			lastLine = lineAddr
 			hit, wb := e.macCache.Access(lineAddr, r.Write)
+			e.probeCache(r.Device, probe.CacheMAC, lineAddr, hit)
+			e.probeMAC(r.Device, lineAddr, false)
 			if wb {
-				e.mm.Write(lineAddr, 64, mem.MAC, nil)
+				e.memWrite(r.Device, lineAddr, 64, mem.MAC, nil)
 			}
 			if !hit {
-				e.mm.Read(lineAddr, 64, mem.MAC, complete.Add())
+				e.memRead(r.Device, lineAddr, 64, mem.MAC, complete.Add())
 			}
 			if e.pol.doubleStore && r.Write && u.gran > meta.Gran64 {
 				// Adaptive stores both granularities on update.
-				e.mm.Write(lineAddr, 64, mem.MAC, nil)
+				e.memWrite(r.Device, lineAddr, 64, mem.MAC, nil)
 			}
+		} else {
+			e.probeMAC(r.Device, lineAddr, true)
 		}
 		if u.gran > meta.Gran64 {
 			e.openUnits.Access(u.base, false) // unit now verified/open
@@ -320,26 +339,26 @@ func (e *Engine) submitChunk(r Request, done func(sim.Time)) {
 		if overBeats > 0 {
 			// Sub-unit write: fetch the covering unit (MAC recompute, and
 			// old plaintext when re-encrypting).
-			e.mm.Read(lo, size, mem.Data, complete.Add())
+			e.memRead(r.Device, lo, size, mem.Data, complete.Add())
 		}
 		if rmwWrite {
-			e.mm.Write(lo, size, mem.Data, complete.Add())
+			e.memWrite(r.Device, lo, size, mem.Data, complete.Add())
 		} else {
-			e.mm.Write(r.Addr, r.Size, mem.Data, complete.Add())
+			e.memWrite(r.Device, r.Addr, r.Size, mem.Data, complete.Add())
 		}
 		e.writtenParts[chunk] |= partMask(chunkBase, r.Addr, r.Size)
 		if e.walker != nil {
 			e.walker.MarkTouched(meta.BlockIndex(r.Addr))
 		}
 	} else {
-		e.mm.Read(lo, size, mem.Data, complete.Add())
+		e.memRead(r.Device, lo, size, mem.Data, complete.Add())
 	}
 	e.lastWrite[chunk] = r.Write
 
 	// Launch the serialized chain, then seal the join.
 	if len(serial) > 0 {
 		fin := complete.Add()
-		e.issueSerial(serial, fin)
+		e.issueSerial(r.Device, serial, fin)
 	}
 	complete.Seal()
 }
@@ -351,13 +370,13 @@ type fetchOp struct {
 
 // issueSerial reads fetch operations one after another — each level of the
 // validation path depends on the one above it.
-func (e *Engine) issueSerial(ops []fetchOp, then func(sim.Time)) {
+func (e *Engine) issueSerial(dev int, ops []fetchOp, then func(sim.Time)) {
 	if len(ops) == 0 {
 		then(e.se.Now())
 		return
 	}
-	e.mm.Read(ops[0].addr, 64, ops[0].kind, func(at sim.Time) {
-		e.issueSerial(ops[1:], then)
+	e.memRead(dev, ops[0].addr, 64, ops[0].kind, func(at sim.Time) {
+		e.issueSerial(dev, ops[1:], then)
 	})
 }
 

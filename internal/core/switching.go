@@ -4,6 +4,7 @@ import (
 	"unimem/internal/check"
 	"unimem/internal/mem"
 	"unimem/internal/meta"
+	"unimem/internal/probe"
 	"unimem/internal/tracker"
 )
 
@@ -134,16 +135,19 @@ func (e *Engine) chargeSwitch(r Request, chunk, chunkBase uint64, b int, from, t
 			// value means following accesses fetch what they need anyway.
 			if !*classified {
 				e.Stats.Switches.DownAll++
+				e.probeSwitch(r, probe.SwDownAll)
 			}
 		} else {
 			switch {
 			case r.Write && !lastW:
 				if !*classified {
 					e.Stats.Switches.UpWAR++
+					e.probeSwitch(r, probe.SwUpWAR)
 				}
 			case r.Write && lastW:
 				if !*classified {
 					e.Stats.Switches.UpWAW++
+					e.probeSwitch(r, probe.SwUpWAW)
 				}
 			default:
 				// Reads must establish the promoted counter: fetch from the
@@ -153,16 +157,18 @@ func (e *Engine) chargeSwitch(r Request, chunk, chunkBase uint64, b int, from, t
 				if !*classified {
 					if lastW {
 						e.Stats.Switches.UpRAW++
+						e.probeSwitch(r, probe.SwUpRAW)
 					} else {
 						e.Stats.Switches.UpRAR++
+						e.probeSwitch(r, probe.SwUpRAR)
 					}
 				}
 				walk := e.walker.Write(blockIdx, to.Level())
 				for _, a := range walk.Fetches {
-					e.mm.Read(a, 64, mem.Switch, complete.Add())
+					e.memRead(r.Device, a, 64, mem.Switch, complete.Add())
 				}
 				for i := 0; i < walk.Writebacks; i++ {
-					e.mm.Write(a64Base(e, blockIdx), 64, mem.Counter, nil)
+					e.memWrite(r.Device, a64Base(e, blockIdx), 64, mem.Counter, nil)
 				}
 			}
 		}
@@ -178,22 +184,25 @@ func (e *Engine) chargeSwitch(r Request, chunk, chunkBase uint64, b int, from, t
 				// region (section 4.4): fetch them, nothing else.
 				if !*classified {
 					e.Stats.Switches.MACDownRO++
+					e.probeSwitch(r, probe.SwMACDownRO)
 				}
 				for _, lineAddr := range e.fineMACLines(chunk, b, from) {
-					e.mm.Read(lineAddr, 64, mem.MAC, complete.Add())
+					e.memRead(r.Device, lineAddr, 64, mem.MAC, complete.Add())
 				}
 			} else {
 				// Written data: the whole unit must be fetched to recompute
 				// fine MACs (the "Moderate" row of Table 2).
 				if !*classified {
 					e.Stats.Switches.MACDownRW++
+					e.probeSwitch(r, probe.SwMACDownRW)
 				}
 				base := chunkBase + uint64(b&^(from.Blocks()-1))*meta.BlockSize
-				e.mm.Read(base, int(from.Bytes()), mem.Switch, complete.Add())
+				e.memRead(r.Device, base, int(from.Bytes()), mem.Switch, complete.Add())
 			}
 		} else {
 			if !*classified {
 				e.Stats.Switches.MACUpLazy++
+				e.probeSwitch(r, probe.SwMACUpLazy)
 			}
 		}
 	}

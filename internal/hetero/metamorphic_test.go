@@ -1,0 +1,222 @@
+package hetero
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"unimem/internal/core"
+	"unimem/internal/mem"
+	"unimem/internal/probe"
+	"unimem/internal/sim"
+)
+
+// Metamorphic properties of the simulator: relations that must hold between
+// runs regardless of workload content, so they catch pipeline regressions
+// without golden numbers.
+
+// metaCfg is the shared small-scale config of the metamorphic tests.
+func metaCfg() Config { return Config{Scale: 0.02, Seed: 1} }
+
+// TestUnsecureNeverSlowerThanSecure: protection only ever adds work —
+// metadata fetches, crypto latency, tree-walk serialization — so under the
+// same scenario, seed and scale, every device must finish at least as early
+// without protection as under any secure scheme.
+func TestUnsecureNeverSlowerThanSecure(t *testing.T) {
+	cfg := metaCfg()
+	schemes := []core.Scheme{core.Conventional, core.Ours, core.BMFUnused, core.BMFUnusedOurs, core.OursDual}
+	for _, sc := range []Scenario{SelectedScenarios()[0], SelectedScenarios()[8]} {
+		base := Run(sc, core.Unsecure, cfg)
+		for _, s := range schemes {
+			res := Run(sc, s, cfg)
+			for i := range res.Devices {
+				if res.Devices[i].FinishPs < base.Devices[i].FinishPs {
+					t.Errorf("%s/%s device %d: secure finished at %d ps, before unsecure at %d ps",
+						sc.ID, s, i, res.Devices[i].FinishPs, base.Devices[i].FinishPs)
+				}
+			}
+			if res.TotalBytes < base.TotalBytes {
+				t.Errorf("%s/%s: secure moved %d bytes, less than unsecure's %d",
+					sc.ID, s, res.TotalBytes, base.TotalBytes)
+			}
+		}
+	}
+}
+
+// TestReadOnlyStreamNeverMACDownRW: the mac-down-rw Table 2 class charges a
+// read-write block that was mispredicted read-only — it can only exist
+// after a write. A pure read stream, whatever its addresses and sizes, must
+// never take that switch, and the probe's switch-class account must agree
+// with the engine's SwitchStats.
+func TestReadOnlyStreamNeverMACDownRW(t *testing.T) {
+	col := probe.NewCollector(1)
+	se := sim.NewEngine()
+	mm := mem.New(se, mem.OrinConfig())
+	en := core.New(se, mm, 4<<20, core.Ours, core.Options{Probe: col})
+	// A mix of fine and coarse reads with re-touches: enough to trigger
+	// detections, promotions, and mac-down-ro — but never mac-down-rw.
+	// Requests stay size-aligned so none straddles a 32KB chunk boundary
+	// (a straddling request is split and would issue twice).
+	var addr uint64
+	for pass := 0; pass < 2; pass++ {
+		addr = 0
+		for i := 0; i < 400; i++ {
+			size := uint64(64)
+			switch i % 5 {
+			case 1:
+				size = 512
+			case 3:
+				size = 4096
+			}
+			addr = (addr + size - 1) &^ (size - 1)
+			en.Submit(core.Request{Addr: addr, Size: int(size)}, func(sim.Time) {})
+			addr = (addr + size) % (4 << 20)
+		}
+		se.RunAll()
+	}
+	en.Finish()
+	if got := en.Stats.Switches.MACDownRW; got != 0 {
+		t.Errorf("read-only stream charged %d mac-down-rw switches", got)
+	}
+	if got := col.Switches[probe.SwMACDownRW]; got != 0 {
+		t.Errorf("probe saw %d mac-down-rw switches on a read-only stream", got)
+	}
+	if col.Writes != 0 {
+		t.Errorf("probe counted %d writes in a read-only stream", col.Writes)
+	}
+	if col.Requests != 800 {
+		t.Errorf("probe counted %d requests, want 800", col.Requests)
+	}
+}
+
+// traceCSV runs one (scenario, scheme) simulation with an attached event
+// trace and returns the CSV export of the last events.
+func traceCSV(t *testing.T, sc Scenario, s core.Scheme, cfg Config) []byte {
+	t.Helper()
+	tr := probe.NewTrace(4096)
+	cfg.NewProbe = func(Scenario, core.Scheme) probe.Probe { return tr }
+	Run(sc, s, cfg)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestIdenticalSeedsIdenticalEventStreams: the simulator is deterministic,
+// so two runs of the same (scenario, scheme, seed, scale) must emit
+// byte-identical probe event streams — the strongest replay guarantee the
+// trace export can make.
+func TestIdenticalSeedsIdenticalEventStreams(t *testing.T) {
+	cfg := metaCfg()
+	sc := SelectedScenarios()[0]
+	a := traceCSV(t, sc, core.Ours, cfg)
+	b := traceCSV(t, sc, core.Ours, cfg)
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical runs produced different event streams")
+	}
+	if c := traceCSV(t, sc, core.Ours, Config{Scale: cfg.Scale, Seed: cfg.Seed + 1}); bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical event streams (trace is not sensitive)")
+	}
+}
+
+// sweepTraces runs a parallel sweep with one event trace per (scenario,
+// scheme) run and returns each run's CSV keyed by id. The factory is called
+// from worker goroutines, so the map is guarded — this test doubles as the
+// race check on the probe plumbing.
+func sweepTraces(t *testing.T, scs []Scenario, schemes []core.Scheme, cfg Config, workers int) map[string][]byte {
+	t.Helper()
+	var mu sync.Mutex
+	traces := map[string]*probe.EventTrace{}
+	cfg.NewProbe = func(sc Scenario, s core.Scheme) probe.Probe {
+		tr := probe.NewTrace(2048)
+		mu.Lock()
+		traces[sc.ID+"|"+s.String()] = tr
+		mu.Unlock()
+		return tr
+	}
+	if _, err := SweepParallel(context.Background(), scs, schemes, cfg, SweepOptions{Workers: workers}); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]byte{}
+	for k, tr := range traces {
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out[k] = buf.Bytes()
+	}
+	return out
+}
+
+// TestSweepEventStreamsWorkerCountInvariant: the parallel sweep engine
+// promises results identical at any worker count; with probes attached that
+// extends to the event streams themselves. Run the same sweep on 1 and 4
+// workers and require every run's trace to match byte for byte.
+func TestSweepEventStreamsWorkerCountInvariant(t *testing.T) {
+	cfg := metaCfg()
+	scs := SelectedScenarios()[:3]
+	schemes := []core.Scheme{core.Conventional, core.Ours}
+	one := sweepTraces(t, scs, schemes, cfg, 1)
+	four := sweepTraces(t, scs, schemes, cfg, 4)
+	// Every scenario also runs its unsecured baseline, and those runs carry
+	// probes too: scenarios × (schemes + baseline).
+	want := len(scs) * (len(schemes) + 1)
+	if len(one) != want || len(four) != len(one) {
+		t.Fatalf("trace counts: %d vs %d, want %d", len(one), len(four), want)
+	}
+	for k, a := range one {
+		b, ok := four[k]
+		if !ok {
+			t.Errorf("run %s missing from 4-worker sweep", k)
+			continue
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("run %s: event stream differs between 1 and 4 workers", k)
+		}
+	}
+}
+
+// TestCollectSummariesMatchEngineStats: with Collect on, the probe summary
+// must agree with the engine's own accounting — same request count, same
+// switch classes, same DRAM byte total. This pins the emission sites to the
+// counters they mirror.
+func TestCollectSummariesMatchEngineStats(t *testing.T) {
+	cfg := metaCfg()
+	cfg.Collect = true
+	sc := SelectedScenarios()[8]
+	for _, s := range []core.Scheme{core.Conventional, core.Ours, core.BMFUnusedOurs} {
+		res := Run(sc, s, cfg)
+		if res.Probe == nil {
+			t.Fatalf("%s: Collect set but no summary", s)
+		}
+		p := res.Probe
+		var issued uint64
+		for _, d := range res.Devices {
+			issued += d.Issued
+		}
+		if p.Requests != issued {
+			t.Errorf("%s: probe saw %d requests, devices issued %d", s, p.Requests, issued)
+		}
+		if p.TotalBytes() != res.TotalBytes {
+			t.Errorf("%s: probe accounted %d traffic bytes, memory moved %d", s, p.TotalBytes(), res.TotalBytes)
+		}
+		sw := res.Switches
+		want := map[probe.SwitchClass]uint64{
+			probe.SwDownAll:   sw.DownAll,
+			probe.SwUpWAR:     sw.UpWAR,
+			probe.SwUpWAW:     sw.UpWAW,
+			probe.SwUpRAR:     sw.UpRAR,
+			probe.SwUpRAW:     sw.UpRAW,
+			probe.SwMACDownRO: sw.MACDownRO,
+			probe.SwMACDownRW: sw.MACDownRW,
+			probe.SwMACUpLazy: sw.MACUpLazy,
+		}
+		for class, n := range want {
+			if p.Switches[class] != n {
+				t.Errorf("%s: probe switch class %s = %d, engine = %d", s, class, p.Switches[class], n)
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"unimem/internal/mem"
 	"unimem/internal/meta"
 	"unimem/internal/npu"
+	"unimem/internal/probe"
 	"unimem/internal/sim"
 	"unimem/internal/workload"
 )
@@ -26,6 +27,18 @@ type Config struct {
 	Mem *mem.Config
 	// Engine overrides protection-engine options.
 	Engine core.Options
+	// Collect attaches a fresh probe.Collector to every measured run and
+	// stores its reduced Summary in the result (RunResult.Probe /
+	// StandaloneResult.Probe). Each run owns its collector, so parallel
+	// sweeps stay race-free and deterministic. Probes observe without
+	// influencing timing, so Collect never changes simulation outcomes
+	// (and stays out of the warmup-memo fingerprint).
+	Collect bool
+	// NewProbe, when set, builds an additional probe for each measured run
+	// (warmup passes — static-best search, oracle profiling — never carry
+	// probes). It is called from the goroutine that executes the run;
+	// implementations handing out shared state must synchronize.
+	NewProbe func(sc Scenario, scheme core.Scheme) probe.Probe
 }
 
 func (c Config) filled() Config {
@@ -71,6 +84,8 @@ type RunResult struct {
 	Latency core.LatencyHistogram
 	// EngineDev is the per-device engine accounting.
 	EngineDev [4]core.DeviceStats
+	// Probe is the run's reduced event stream (nil unless Config.Collect).
+	Probe *probe.Summary
 }
 
 // MaxFinish returns the scenario's wall-clock end.
@@ -108,6 +123,9 @@ func Run(sc Scenario, scheme core.Scheme, cfg Config) RunResult {
 		}
 	}
 
+	col, prb := cfg.buildProbe(sc, scheme)
+	opts.Probe = probe.Multi(opts.Probe, prb)
+
 	eng := sim.NewEngine()
 	mm := mem.New(eng, *cfg.Mem)
 	en := core.New(eng, mm, cfg.RegionBytes, scheme, opts)
@@ -120,6 +138,10 @@ func Run(sc Scenario, scheme core.Scheme, cfg Config) RunResult {
 	en.Finish()
 
 	res := RunResult{Scenario: sc, Scheme: scheme}
+	if col != nil {
+		s := col.Summary
+		res.Probe = &s
+	}
 	for i, d := range devs {
 		if !d.Done() {
 			panic(fmt.Sprintf("hetero: device %s never drained (%s, %v)", d.Name(), sc.ID, scheme))
@@ -200,13 +222,33 @@ func resetWarmupCaches() {
 
 // warmupOpts derives the engine options of a warmup pass from the caller's
 // config: the warmup simulates the same engine (cache sizes, crypto
-// latencies, tracker) but owns its scheme-specific fields.
+// latencies, tracker) but owns its scheme-specific fields. Probes never
+// attach to warmups — their results are memoized and shared across runs,
+// so an observer bound to one caller would see another's pass.
 func warmupOpts(cfg Config) core.Options {
 	o := cfg.Engine
 	o.Devices = 4
 	o.StaticGran = nil
 	o.FixedTable = nil
+	o.Probe = nil
 	return o
+}
+
+// buildProbe assembles a measured run's probe stack from the config: the
+// built-in collector (Collect) and the caller's custom probe (NewProbe).
+func (c Config) buildProbe(sc Scenario, scheme core.Scheme) (*probe.Collector, probe.Probe) {
+	var col *probe.Collector
+	if c.Collect {
+		col = probe.NewCollector(4)
+	}
+	var custom probe.Probe
+	if c.NewProbe != nil {
+		custom = c.NewProbe(sc, scheme)
+	}
+	if col == nil {
+		return nil, custom
+	}
+	return col, probe.Multi(col, custom)
 }
 
 // profileTable runs the scenario once under Ours and returns the detected
@@ -306,6 +348,8 @@ type StandaloneResult struct {
 	TotalBytes uint64
 	MetaBytes  uint64
 	Misses     uint64
+	// Probe is the run's reduced event stream (nil unless Config.Collect).
+	Probe *probe.Summary
 }
 
 // RunStandalone runs one workload alone on its device class behind the
@@ -327,6 +371,8 @@ func RunStandalone(name string, scheme core.Scheme, cfg Config) StandaloneResult
 			opts.FixedTable = profileStandalone(name, index, cfg)
 		}
 	}
+	col, prb := cfg.buildProbe(Scenario{ID: name}, scheme)
+	opts.Probe = probe.Multi(opts.Probe, prb)
 	eng := sim.NewEngine()
 	mm := mem.New(eng, *cfg.Mem)
 	en := core.New(eng, mm, cfg.RegionBytes, scheme, opts)
@@ -334,7 +380,7 @@ func RunStandalone(name string, scheme core.Scheme, cfg Config) StandaloneResult
 	d.Start()
 	eng.RunAll()
 	en.Finish()
-	return StandaloneResult{
+	res := StandaloneResult{
 		Workload:   name,
 		Scheme:     scheme,
 		FinishPs:   d.FinishTime(),
@@ -342,6 +388,11 @@ func RunStandalone(name string, scheme core.Scheme, cfg Config) StandaloneResult
 		MetaBytes:  mm.Stats.MetadataBytes(),
 		Misses:     en.SecurityCacheMisses(),
 	}
+	if col != nil {
+		s := col.Summary
+		res.Probe = &s
+	}
+	return res
 }
 
 func standaloneDevice(eng *sim.Engine, en *core.Engine, name string, index int, cfg Config) device {

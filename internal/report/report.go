@@ -419,7 +419,7 @@ func ByID(id string, o Options) (Figure, error) {
 		"fig04": Fig04, "fig05": Fig05, "fig06": Fig06, "table2": Table02,
 		"fig15": Fig15, "fig16": Fig16, "fig17": Fig17, "fig18": Fig18,
 		"fig19": Fig19, "fig20": Fig20, "fig21": Fig21,
-		"ext-latency": ExtLatency,
+		"ext-latency": ExtLatency, "ext-walklen": ExtWalkLen, "ext-breakdown": ExtBreakdown,
 	}[id]
 	if !ok {
 		return Figure{}, fmt.Errorf("report: unknown experiment %q", id)
@@ -429,7 +429,7 @@ func ByID(id string, o Options) (Figure, error) {
 
 // IDs lists the experiment identifiers in paper order.
 func IDs() []string {
-	return []string{"fig04", "fig05", "fig06", "table2", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "ext-latency"}
+	return []string{"fig04", "fig05", "fig06", "table2", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "ext-latency", "ext-walklen", "ext-breakdown"}
 }
 
 // ExtLatency is an extension experiment beyond the paper's figures: the

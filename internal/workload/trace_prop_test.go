@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"unimem/internal/meta"
+	"unimem/internal/sim"
+)
+
+// Property coverage of the trace format: export/import must preserve the
+// request stream exactly — and therefore every derived view of it, like the
+// Fig. 4 stream-chunk classification — for arbitrary valid streams, not
+// just the synthetic generators' outputs.
+
+// randomRequests builds a random but format-valid request stream.
+func randomRequests(rng *rand.Rand, n int) []Request {
+	sizes := []int{64, 128, 512, 2048, 4096, 32768}
+	rs := make([]Request, n)
+	for i := range rs {
+		size := sizes[rng.Intn(len(sizes))]
+		rs[i] = Request{
+			Addr:  uint64(rng.Intn(1<<20)) * meta.BlockSize,
+			Size:  size,
+			Write: rng.Intn(3) == 0,
+			GapPs: sim.Time(rng.Intn(1_000_000)),
+			Dep:   rng.Intn(8) == 0,
+		}
+	}
+	return rs
+}
+
+// roundTrip exports rs and parses it back.
+func roundTrip(t *testing.T, rs []Request) []Request {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := WriteTrace(&buf, &traceGen{name: "prop", reqs: rs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(rs) {
+		t.Fatalf("wrote %d of %d requests", n, len(rs))
+	}
+	g, err := ReadTrace(&buf, "prop")
+	if err != nil {
+		t.Fatalf("re-parse of our own export failed: %v", err)
+	}
+	return Collect(g)
+}
+
+func TestTraceRoundTripPropertyRandomStreams(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		rs := randomRequests(rng, 1+rng.Intn(300))
+		got := roundTrip(t, rs)
+		if len(got) != len(rs) {
+			t.Fatalf("seed %d: %d requests became %d", seed, len(rs), len(got))
+		}
+		for i := range rs {
+			if got[i] != rs[i] {
+				t.Fatalf("seed %d: request %d changed: %+v -> %+v", seed, i, rs[i], got[i])
+			}
+		}
+	}
+}
+
+// TestTraceRoundTripPreservesChunkMix: the chunk-mix classification is a
+// pure function of the stream, so it must survive the round trip for every
+// registered workload.
+func TestTraceRoundTripPreservesChunkMix(t *testing.T) {
+	for _, name := range Names() {
+		g, err := ByName(name, 0.02, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := Collect(g)
+		got := roundTrip(t, rs)
+		want := AnalyzeStreamChunks(&traceGen{reqs: rs}, 0)
+		have := AnalyzeStreamChunks(&traceGen{reqs: got}, 0)
+		if want.Requests != have.Requests || want.Frac != have.Frac {
+			t.Errorf("%s: chunk mix changed across round trip:\n  want %+v\n  have %+v", name, want, have)
+		}
+	}
+}
+
+// TestTraceExportIsCanonical: parsing an export and exporting again must be
+// byte-identical (the format has one canonical rendering per stream), so
+// traces can be diffed and deduplicated as files.
+func TestTraceExportIsCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	rs := randomRequests(rng, 200)
+	var first bytes.Buffer
+	if _, err := WriteTrace(&first, &traceGen{name: "prop", reqs: rs}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadTrace(bytes.NewReader(first.Bytes()), "prop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if _, err := WriteTrace(&second, g); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("parse+export is not canonical: second export differs from first")
+	}
+}
+
+// FuzzReadTrace hammers the parser with arbitrary bytes. Two properties:
+// the parser never panics, and anything it accepts survives a round trip
+// unchanged (export then re-parse yields the same stream).
+func FuzzReadTrace(f *testing.F) {
+	f.Add([]byte("R 0x1000 64 1200\nW 0x2000 4096 250000\nr 0x3000 64 0 dep\n"))
+	f.Add([]byte("# comment only\n\n"))
+	f.Add([]byte("R 0x1000 64"))
+	f.Add([]byte("X 0x1000 64 0\n"))
+	f.Add([]byte("R 0x1001 64 0\n"))
+	f.Add([]byte("W 0xffffffffffffffc0 64 9223372036854775807\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadTrace(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		rs := Collect(g)
+		for i, r := range rs {
+			if !meta.Aligned(r.Addr, meta.BlockSize) || r.Size <= 0 || r.Size%meta.BlockSize != 0 || r.GapPs < 0 {
+				t.Fatalf("parser accepted invalid request %d: %+v", i, r)
+			}
+		}
+		got := roundTrip(t, rs)
+		if len(got) != len(rs) {
+			t.Fatalf("round trip changed length: %d -> %d", len(rs), len(got))
+		}
+		for i := range rs {
+			if got[i] != rs[i] {
+				t.Fatalf("round trip changed request %d: %+v -> %+v", i, rs[i], got[i])
+			}
+		}
+	})
+}
