@@ -1,20 +1,25 @@
 // Command mglint runs the repository's domain-aware static analyzers over
-// the module: magic-granularity, unit-mixing, alignment and
-// unchecked-return (see internal/lint). It exits non-zero when any
-// unsuppressed finding remains, making it suitable as a CI gate:
+// the module: the expression-local rules (magic-granularity, unit-mixing,
+// alignment, unchecked-return) and the module-wide dataflow rules
+// (unit-flow, determinism, probe-discipline) — see internal/lint. It exits
+// non-zero when any unsuppressed, un-baselined finding remains, making it
+// suitable as a CI gate:
 //
-//	go run ./cmd/mglint ./...
+//	go run ./cmd/mglint -format sarif -baseline .mglint-baseline.json ./...
 //
 // Findings are suppressed in source with
 //
 //	//lint:ignore mglint/<rule> <reason>
 //
-// on the offending line or the line above it.
+// at the end of the offending line (covers that line only) or alone on the
+// line above it (covers the next line only). `mglint -suppressions` audits
+// the directives and reports the stale ones.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -22,25 +27,33 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mglint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		tests = flag.Bool("tests", false, "also lint _test.go files (in-package tests only)")
-		rules = flag.String("rules", "", "comma-separated rule subset (default: all)")
-		list  = flag.Bool("list", false, "list available rules and exit")
-		quiet = flag.Bool("q", false, "suppress the finding count summary")
+		tests    = fs.Bool("tests", false, "also lint _test.go files (in-package tests only)")
+		rules    = fs.String("rules", "", "comma-separated rule subset (default: all)")
+		list     = fs.Bool("list", false, "list available rules and exit")
+		quiet    = fs.Bool("q", false, "suppress the finding count summary")
+		format   = fs.String("format", "text", "output format: text, json, or sarif")
+		baseline = fs.String("baseline", "", "baseline file: findings listed there are accepted")
+		writeBl  = fs.Bool("write-baseline", false, "regenerate the -baseline file from the current findings and exit")
+		audit    = fs.Bool("suppressions", false, "audit //lint:ignore directives and report stale ones")
 	)
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: mglint [flags] [./...]\n\n")
-		flag.PrintDefaults()
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mglint [flags] [./...]\n\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-18s %s\n", a.Name(), a.Doc())
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name(), a.Doc())
 		}
 		return 0
 	}
@@ -50,8 +63,8 @@ func run() int {
 	// containing the current directory; a path argument selects the module
 	// containing that path.
 	root := "."
-	if args := flag.Args(); len(args) > 0 {
-		root = strings.TrimSuffix(strings.TrimSuffix(args[0], "..."), "/")
+	if rest := fs.Args(); len(rest) > 0 {
+		root = strings.TrimSuffix(strings.TrimSuffix(rest[0], "..."), "/")
 		if root == "" {
 			root = "."
 		}
@@ -62,19 +75,93 @@ func run() int {
 	if *rules != "" {
 		opts.Rules = strings.Split(*rules, ",")
 	}
+
+	if *audit {
+		// The stale-directive audit is only meaningful against the full
+		// rule set: a directive for a disabled rule is not stale.
+		if *rules != "" {
+			fmt.Fprintln(stderr, "mglint: -suppressions requires the full rule set (drop -rules)")
+			return 2
+		}
+		findings, stale, err := lint.RunAudit(root, opts.Load)
+		if err != nil {
+			fmt.Fprintln(stderr, "mglint:", err)
+			return 2
+		}
+		_ = findings // the audit reports directive health, not code health
+		if err := emit(stdout, *format, stale); err != nil {
+			fmt.Fprintln(stderr, "mglint:", err)
+			return 2
+		}
+		if len(stale) > 0 {
+			if !*quiet {
+				fmt.Fprintf(stderr, "mglint: %d stale suppression(s)\n", len(stale))
+			}
+			return 1
+		}
+		return 0
+	}
+
 	findings, err := lint.Run(root, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mglint:", err)
+		fmt.Fprintln(stderr, "mglint:", err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+
+	if *writeBl {
+		if *baseline == "" {
+			fmt.Fprintln(stderr, "mglint: -write-baseline requires -baseline <file>")
+			return 2
+		}
+		if err := lint.WriteBaseline(*baseline, findings); err != nil {
+			fmt.Fprintln(stderr, "mglint:", err)
+			return 2
+		}
+		if !*quiet {
+			fmt.Fprintf(stderr, "mglint: wrote %d finding(s) to %s\n", len(findings), *baseline)
+		}
+		return 0
+	}
+
+	if *baseline != "" {
+		entries, err := lint.ReadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "mglint:", err)
+			return 2
+		}
+		var unused []lint.BaselineEntry
+		findings, unused = lint.ApplyBaseline(findings, entries)
+		for _, e := range unused {
+			fmt.Fprintf(stderr, "mglint: baseline entry no longer matches (%s: mglint/%s); regenerate with -write-baseline\n", e.File, e.Rule)
+		}
+	}
+
+	if err := emit(stdout, *format, findings); err != nil {
+		fmt.Fprintln(stderr, "mglint:", err)
+		return 2
 	}
 	if len(findings) > 0 {
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "mglint: %d finding(s)\n", len(findings))
+			fmt.Fprintf(stderr, "mglint: %d finding(s)\n", len(findings))
 		}
 		return 1
 	}
 	return 0
+}
+
+// emit renders findings in the selected format.
+func emit(w io.Writer, format string, findings []lint.Finding) error {
+	switch format {
+	case "text":
+		for _, f := range findings {
+			fmt.Fprintln(w, f)
+		}
+		return nil
+	case "json":
+		return lint.WriteJSON(w, findings)
+	case "sarif":
+		return lint.WriteSARIF(w, findings)
+	default:
+		return fmt.Errorf("unknown -format %q (want text, json, or sarif)", format)
+	}
 }

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+)
+
+// The findings baseline: a checked-in snapshot of accepted findings that CI
+// gates against. A finding matching a baseline entry is filtered out; a new
+// finding (not in the baseline) fails the build; the goal state is an empty
+// baseline, with accepted exceptions living as reasoned //lint:ignore
+// directives next to the code instead. Entries match on (file, rule, msg)
+// but deliberately not line/column, so unrelated edits that shift code do
+// not invalidate the baseline.
+
+// BaselineEntry identifies one accepted finding.
+type BaselineEntry struct {
+	File string `json:"file"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// ReadBaseline loads a baseline file. A missing file is an empty baseline.
+func ReadBaseline(path string) ([]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []BaselineEntry
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteBaseline regenerates the baseline from the current findings,
+// deterministically sorted and deduplicated.
+func WriteBaseline(path string, fs []Finding) error {
+	entries := make([]BaselineEntry, 0, len(fs))
+	for _, f := range fs {
+		entries = append(entries, BaselineEntry{File: f.Pos.Filename, Rule: f.Rule, Msg: f.Msg})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	dedup := entries[:0]
+	for i, e := range entries {
+		if i > 0 && e == entries[i-1] {
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+	data, err := json.MarshalIndent(dedup, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ApplyBaseline filters findings covered by the baseline. Each entry
+// absorbs any number of matching findings (a multi-hit line stays one
+// entry); entries that absorb nothing are returned so the driver can point
+// at baseline rot.
+func ApplyBaseline(fs []Finding, entries []BaselineEntry) (remaining []Finding, unusedEntries []BaselineEntry) {
+	used := make([]bool, len(entries))
+	for _, f := range fs {
+		matched := false
+		for i, e := range entries {
+			if e.File == f.Pos.Filename && e.Rule == f.Rule && e.Msg == f.Msg {
+				used[i] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			remaining = append(remaining, f)
+		}
+	}
+	for i, e := range entries {
+		if !used[i] {
+			unusedEntries = append(unusedEntries, e)
+		}
+	}
+	return remaining, unusedEntries
+}

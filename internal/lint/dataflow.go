@@ -1,0 +1,497 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// dataflow is the module-wide unit-fact propagation engine. It runs a
+// flow-insensitive fixpoint over every assignment, return statement, and
+// call site of the type-checked module, associating a Fact with each
+// types.Object (variables, parameters, results, struct fields). The seeds
+// come from the internal/meta geometry helpers (facts.go); everything else
+// is inferred: a value assigned from ChunkIndex(addr) is a chunk index, the
+// parameter it is later passed to is a chunk index, and the result of a
+// function returning it is a chunk index — across any number of call hops.
+type dataflow struct {
+	pkgs []*Package
+	// facts is the inferred unit of each tracked object.
+	facts map[types.Object]Fact
+	// seeded marks authoritative objects (from the seed tables) whose fact
+	// is never degraded by inference and which drive reverse inference at
+	// call sites.
+	seeded map[types.Object]bool
+	// consts identifies the meta geometry constants for the MUL/QUO
+	// conversion tables.
+	consts map[types.Object]geomConst
+	// changed records whether the current fixpoint round learned anything.
+	changed bool
+	// reverse enables call-site reverse inference (seeded parameter fact →
+	// argument object). It runs as a separate middle phase so that an
+	// argument with independent conflicting evidence keeps its own fact —
+	// the conflict must surface as a unit-flow finding at the call site,
+	// not silently degrade the object to mixed.
+	reverse bool
+}
+
+// newDataflow seeds the engine and runs the fixpoint to completion.
+func newDataflow(pkgs []*Package) *dataflow {
+	seeds, consts := lookupSeedObjects(pkgs)
+	d := &dataflow{
+		pkgs:   pkgs,
+		facts:  map[types.Object]Fact{},
+		seeded: map[types.Object]bool{},
+		consts: consts,
+	}
+	for obj, f := range seeds {
+		d.facts[obj] = f
+		d.seeded[obj] = true
+	}
+	// Phase A: forward fixpoint (assignments, returns, forward call flow).
+	// Phase B: one reverse-inference round (seeded param facts onto
+	// still-unknown plain-identifier arguments). Phase C: forward fixpoint
+	// again so the reverse-inferred facts flow onward. Reverse inference is
+	// kept out of the main fixpoint so it can never overwrite independent
+	// evidence (see the reverse field).
+	d.fixpoint()
+	d.reverse = true
+	for _, p := range d.pkgs {
+		d.propagatePackage(p)
+	}
+	d.reverse = false
+	d.fixpoint()
+	return d
+}
+
+// fixpoint runs forward propagation rounds until nothing changes. Each
+// round can move a fact across one assignment/call/return hop; the module's
+// call chains are shallow, so this settles in a few rounds. The cap is a
+// safety net, not a tuning knob: facts only move up the join lattice, so
+// the loop terminates regardless.
+func (d *dataflow) fixpoint() {
+	for round := 0; round < 12; round++ {
+		d.changed = false
+		for _, p := range d.pkgs {
+			d.propagatePackage(p)
+		}
+		if !d.changed {
+			break
+		}
+	}
+}
+
+// update joins new evidence into an object's fact. Seeded objects are
+// authoritative and never move.
+func (d *dataflow) update(obj types.Object, f Fact) {
+	if obj == nil || f == FactNone || d.seeded[obj] {
+		return
+	}
+	old := d.facts[obj]
+	if old == factMixed {
+		return
+	}
+	next := joinFact(old, f)
+	if next != old {
+		d.facts[obj] = next
+		d.changed = true
+	}
+}
+
+// factOf returns the current fact of an object.
+func (d *dataflow) factOf(obj types.Object) Fact {
+	if obj == nil {
+		return FactNone
+	}
+	return d.facts[obj]
+}
+
+// propagatePackage runs one propagation round over one package.
+func (d *dataflow) propagatePackage(p *Package) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			switch dd := decl.(type) {
+			case *ast.FuncDecl:
+				if dd.Body != nil {
+					d.propagateFunc(p, dd.Body, funcSignature(p, dd))
+				}
+			case *ast.GenDecl:
+				for _, spec := range dd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						d.propagateValueSpec(p, vs)
+					}
+				}
+			}
+		}
+	}
+}
+
+// funcSignature resolves the declared function's signature.
+func funcSignature(p *Package, fd *ast.FuncDecl) *types.Signature {
+	obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return obj.Type().(*types.Signature)
+}
+
+// propagateValueSpec handles package- and declaration-level `var x = expr`.
+func (d *dataflow) propagateValueSpec(p *Package, vs *ast.ValueSpec) {
+	if len(vs.Values) != len(vs.Names) {
+		return
+	}
+	for i, name := range vs.Names {
+		d.update(p.Info.Defs[name], d.exprFact(p, vs.Values[i]))
+	}
+}
+
+// propagateFunc walks one function body. sig is the enclosing signature for
+// return-statement propagation; FuncLit bodies recurse with their own.
+func (d *dataflow) propagateFunc(p *Package, body *ast.BlockStmt, sig *types.Signature) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			litSig, _ := p.Info.Types[s].Type.(*types.Signature)
+			d.propagateFunc(p, s.Body, litSig)
+			return false
+		case *ast.AssignStmt:
+			d.propagateAssign(p, s)
+		case *ast.RangeStmt:
+			d.propagateRange(p, s)
+		case *ast.ReturnStmt:
+			d.propagateReturn(p, s, sig)
+		case *ast.CallExpr:
+			d.propagateCall(p, s)
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						d.propagateValueSpec(p, vs)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lhsObject resolves the object a plain identifier assignment target names.
+// Stores through selectors/indexes are not tracked (field facts come from
+// the seed tables only, keeping inference conservative).
+func lhsObject(p *Package, e ast.Expr) types.Object {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Uses[id]
+}
+
+// propagateAssign moves facts across = / := (including multi-value calls
+// and the v, ok map/assert idioms). Compound assignments (+=, -=, ...) do
+// not re-bind the target: the target keeps its own unit, and a mismatched
+// operand is the unit-flow analyzer's finding, not new evidence.
+func (d *dataflow) propagateAssign(p *Package, s *ast.AssignStmt) {
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		return
+	}
+	if len(s.Lhs) > 1 && len(s.Rhs) == 1 {
+		// Multi-value: x, y := f() or v, ok := m[k].
+		switch rhs := unparen(s.Rhs[0]).(type) {
+		case *ast.CallExpr:
+			for i, f := range d.callResultFacts(p, rhs) {
+				if i < len(s.Lhs) {
+					d.update(lhsObject(p, s.Lhs[i]), f)
+				}
+			}
+		case *ast.IndexExpr:
+			d.update(lhsObject(p, s.Lhs[0]), d.exprFact(p, rhs))
+		}
+		return
+	}
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		d.update(lhsObject(p, lhs), d.exprFact(p, s.Rhs[i]))
+	}
+}
+
+// propagateRange gives the range value the container's element fact (the
+// container-as-element convention: a []uint64 of fetch addresses carries
+// FactByteAddr, so each ranged element does too).
+func (d *dataflow) propagateRange(p *Package, s *ast.RangeStmt) {
+	cf := d.exprFact(p, s.X)
+	if !cf.known() {
+		return
+	}
+	tv, ok := p.Info.Types[s.X]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Pointer:
+		if s.Value != nil {
+			d.update(lhsObject(p, s.Value), cf)
+		}
+	case *types.Map:
+		// Maps keyed by a unit (e.g. demoteVotes[chunk]) would need a
+		// separate key fact; not tracked.
+	case *types.Basic:
+		// range over an integer count: the induction variable inherits the
+		// count's domain (for i := range geom.Chunks() → chunk index).
+		if s.Key != nil {
+			d.update(lhsObject(p, s.Key), cf)
+		}
+	}
+}
+
+// propagateReturn moves returned-expression facts into the enclosing
+// signature's result objects, so callers observe them.
+func (d *dataflow) propagateReturn(p *Package, s *ast.ReturnStmt, sig *types.Signature) {
+	if sig == nil || sig.Results() == nil || len(s.Results) != sig.Results().Len() {
+		return
+	}
+	for i, res := range s.Results {
+		d.update(sig.Results().At(i), d.exprFact(p, res))
+	}
+}
+
+// propagateCall moves argument facts into module-internal parameter objects
+// (forward inference) and seeded parameter facts back onto plain-identifier
+// arguments (reverse inference: passing x to ChunkBase proves x is a byte
+// address even before anything else does).
+func (d *dataflow) propagateCall(p *Package, call *ast.CallExpr) {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	nParams := sig.Params().Len()
+	if sig.Variadic() {
+		nParams-- // the variadic tail aggregates mixed elements; skip it
+	}
+	internal := fn.Pkg() != nil && strings.Contains(fn.Pkg().Path(), "/internal/")
+	for i, arg := range call.Args {
+		if i >= nParams {
+			break
+		}
+		param := sig.Params().At(i)
+		if internal {
+			d.update(param, d.exprFact(p, arg))
+		}
+		if d.reverse && d.seeded[param] {
+			if obj := lhsObject(p, arg); obj != nil && d.facts[obj] == FactNone {
+				d.update(obj, d.facts[param])
+			}
+		}
+	}
+}
+
+// callResultFacts returns the per-result facts of a call expression.
+func (d *dataflow) callResultFacts(p *Package, call *ast.CallExpr) []Fact {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	out := make([]Fact, sig.Results().Len())
+	for i := range out {
+		out[i] = d.factOf(sig.Results().At(i))
+	}
+	return out
+}
+
+// exprFact computes the unit fact of one expression from object facts, the
+// geometry-constant conversion tables, and the arithmetic transfer rules.
+func (d *dataflow) exprFact(p *Package, e ast.Expr) Fact {
+	e = unparen(e)
+	// Type-based seed: every meta.Gran value is a granularity regardless of
+	// how it was produced.
+	if tv, ok := p.Info.Types[e]; ok && tv.Type != nil && isGranType(tv.Type) {
+		return FactGran
+	}
+	switch v := e.(type) {
+	case *ast.Ident:
+		obj := p.Info.Uses[v]
+		if obj == nil {
+			obj = p.Info.Defs[v]
+		}
+		if gc, ok := d.consts[obj]; ok {
+			return constFact[gc]
+		}
+		return d.factOf(obj)
+	case *ast.SelectorExpr:
+		if obj := p.Info.Uses[v.Sel]; obj != nil {
+			if gc, ok := d.consts[obj]; ok {
+				return constFact[gc]
+			}
+			if sel, ok := p.Info.Selections[v]; ok && sel.Kind() == types.FieldVal {
+				return d.factOf(sel.Obj())
+			}
+			if _, isVar := obj.(*types.Var); isVar {
+				return d.factOf(obj)
+			}
+		}
+		return FactNone
+	case *ast.CallExpr:
+		return d.callExprFact(p, v)
+	case *ast.BinaryExpr:
+		return d.binaryFact(p, v)
+	case *ast.UnaryExpr:
+		switch v.Op {
+		case token.ADD, token.SUB, token.XOR, token.AND:
+			return d.exprFact(p, v.X)
+		}
+		return FactNone
+	case *ast.StarExpr:
+		return d.exprFact(p, v.X)
+	case *ast.IndexExpr:
+		// Container-as-element: indexing a fact-carrying slice/map yields an
+		// element with the container's fact.
+		return d.exprFact(p, v.X)
+	case *ast.SliceExpr:
+		return d.exprFact(p, v.X)
+	}
+	return FactNone
+}
+
+// callExprFact handles calls inside expressions: type conversions forward
+// the operand's fact; builtin len/cap deliberately drop the container fact
+// (a length is a count, not an element); real calls report their first
+// result's fact; append keeps the slice's fact.
+func (d *dataflow) callExprFact(p *Package, call *ast.CallExpr) Fact {
+	// Conversion: uint64(x) keeps x's unit.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return d.exprFact(p, call.Args[0])
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append":
+				if len(call.Args) > 0 {
+					return d.exprFact(p, call.Args[0])
+				}
+			case "min", "max":
+				f := FactNone
+				for _, a := range call.Args {
+					f = joinFact(f, d.exprFact(p, a))
+				}
+				return f
+			}
+			return FactNone
+		}
+	}
+	facts := d.callResultFacts(p, call)
+	if len(facts) >= 1 {
+		return facts[0]
+	}
+	return FactNone
+}
+
+// binaryFact implements the arithmetic transfer rules (Eq. 1-4 are all
+// built from these shapes):
+//
+//	idx * Size         -> the converted domain (mulConv)
+//	addr / Size        -> the converted domain (quoConv)
+//	count * SizeConst  -> the constant's own domain
+//	f + f, f - f       -> f        (offsets within one domain)
+//	f + none           -> f
+//	f1 + f2 (f1 != f2) -> mixed    (reported by the unit-flow analyzer)
+//	f % c, f &^ m, f & m, f | m, f ^ m -> f  (masking stays in-domain)
+//	f << n, f >> n     -> none     (shifts change the domain invisibly)
+func (d *dataflow) binaryFact(p *Package, b *ast.BinaryExpr) Fact {
+	lf := d.exprFact(p, b.X)
+	rf := d.exprFact(p, b.Y)
+	switch b.Op {
+	case token.MUL:
+		if f, ok := convFact(mulConv, lf, rf, d.geomConstOf(p, b.X), d.geomConstOf(p, b.Y)); ok {
+			return f
+		}
+		// count * SizeConst: a plain count scaled by a geometry constant
+		// lands in the constant's own domain (i * meta.MACsPerLine is a
+		// block offset, n * meta.BlockSize a byte size).
+		if lf == FactNone && rf == FactNone {
+			if gc := d.geomConstOf(p, b.Y); gc != gcNone {
+				return constFact[gc]
+			}
+			if gc := d.geomConstOf(p, b.X); gc != gcNone {
+				return constFact[gc]
+			}
+		}
+		return FactNone
+	case token.QUO:
+		if gc := d.geomConstOf(p, b.Y); gc != gcNone {
+			if f, ok := quoConv[factConst{lf, gc}]; ok {
+				return f
+			}
+		}
+		return FactNone
+	case token.ADD, token.SUB:
+		if lf.known() && rf.known() && lf != rf {
+			return factMixed
+		}
+		return joinFact(lf, rf)
+	case token.REM, token.AND, token.AND_NOT, token.OR, token.XOR:
+		return lf
+	case token.SHL, token.SHR:
+		return FactNone
+	}
+	return FactNone
+}
+
+// convFact applies a conversion table to idx*const in either operand order.
+func convFact(table map[factConst]Fact, lf, rf Fact, lgc, rgc geomConst) (Fact, bool) {
+	if rgc != gcNone && lf.known() {
+		if f, ok := table[factConst{lf, rgc}]; ok {
+			return f, true
+		}
+	}
+	if lgc != gcNone && rf.known() {
+		if f, ok := table[factConst{rf, lgc}]; ok {
+			return f, true
+		}
+	}
+	return FactNone, false
+}
+
+// geomConstOf identifies a geometry-constant operand, looking through
+// parentheses and conversions (uint64(meta.BlockSize)).
+func (d *dataflow) geomConstOf(p *Package, e ast.Expr) geomConst {
+	e = unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+			return d.geomConstOf(p, call.Args[0])
+		}
+	}
+	var obj types.Object
+	switch v := e.(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[v]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[v.Sel]
+	}
+	if gc, ok := d.consts[obj]; ok {
+		return gc
+	}
+	return gcNone
+}
+
+// isGranType reports whether t is meta.Gran.
+func isGranType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Name() == "Gran" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "/internal/meta")
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"bytes"
+	"go/types"
+	"path/filepath"
+	"testing"
+)
+
+// TestSeedRegistryResolvesAgainstModule guards the seed tables against
+// silent drift: if a geometry helper is renamed, its seed entry must fail
+// loudly here instead of quietly disabling the unit-flow rule.
+func TestSeedRegistryResolvesAgainstModule(t *testing.T) {
+	pkgs, err := Load("../..", LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds, consts := lookupSeedObjects(pkgs)
+	if len(consts) != len(geomConstNames) {
+		t.Errorf("resolved %d geometry constants, want %d", len(consts), len(geomConstNames))
+	}
+	// Every signature seed must resolve: count the expected objects.
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	for key := range seedSigs {
+		if lookupFunc(byPath, key) == nil {
+			t.Errorf("seed signature %q does not resolve against the module", key)
+		}
+	}
+	for key := range seedFields {
+		if lookupField(byPath, key) == nil {
+			t.Errorf("seed field %q does not resolve against the module", key)
+		}
+	}
+	if len(seeds) == 0 {
+		t.Fatal("no seed objects resolved")
+	}
+}
+
+// TestDataflowPropagatesAcrossModule spot-checks converged facts on the
+// real module: the chunk parameters of the switching path must carry the
+// chunk-index fact even though only meta's signatures are seeded.
+func TestDataflowPropagatesAcrossModule(t *testing.T) {
+	pkgs, err := Load("../..", LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDataflow(pkgs)
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	fn := lookupFunc(byPath, corePath+".Engine.chargeSwitch")
+	if fn == nil {
+		t.Fatal("core.Engine.chargeSwitch not found")
+	}
+	sig := fn.Type().(*types.Signature)
+	var chunkParam *types.Var
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i).Name() == "chunk" {
+			chunkParam = sig.Params().At(i)
+		}
+	}
+	if chunkParam == nil {
+		t.Fatal("chargeSwitch has no chunk parameter")
+	}
+	if got := d.factOf(chunkParam); got != FactChunkIdx {
+		t.Errorf("chargeSwitch chunk parameter fact = %v, want %v", got, FactChunkIdx)
+	}
+}
+
+// TestJSONOutputByteIdentical runs the full rule set twice over a fixture
+// module and over this module's own lint package sources, asserting the
+// JSON bytes match exactly — the determinism contract CI diffing relies on.
+func TestJSONOutputByteIdentical(t *testing.T) {
+	for _, root := range []string{filepath.Join("testdata", "determinism_bad"), "../.."} {
+		var bufs [2]bytes.Buffer
+		for i := range bufs {
+			fs, err := Run(root, Options{})
+			if err != nil {
+				t.Fatalf("run %d over %s: %v", i, root, err)
+			}
+			if err := WriteJSON(&bufs[i], fs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+			t.Errorf("JSON output differs between runs over %s:\n%s\n---\n%s", root, bufs[0].String(), bufs[1].String())
+		}
+	}
+}

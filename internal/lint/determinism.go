@@ -1,0 +1,423 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism is the module-wide reproducibility rule. The engine promises
+// byte-identical sweep results and event streams at any worker count; this
+// rule reports the three ways that promise silently breaks:
+//
+//  1. wall-clock / randomness (time.Now, math/rand) reachable from the
+//     simulation packages (core, tree, hetero, meta, sim);
+//  2. map-range iteration feeding order-sensitive sinks (append, channel
+//     sends, writers/encoders, local emit closures) without a later sort;
+//  3. writes to unsynchronized package-level state reachable from the
+//     SweepParallel worker pool.
+type Determinism struct{}
+
+// Name implements Analyzer.
+func (*Determinism) Name() string { return "determinism" }
+
+// Doc implements Analyzer.
+func (*Determinism) Doc() string {
+	return "nondeterminism in simulation paths: wall clock, rand, map-range output, shared state (dataflow)"
+}
+
+// Check implements Analyzer; determinism only runs module-wide.
+func (*Determinism) Check(p *Package) []Finding { return nil }
+
+// simPkgSuffixes are the packages whose call trees must stay deterministic.
+var simPkgSuffixes = []string{
+	"/internal/core", "/internal/tree", "/internal/hetero", "/internal/meta", "/internal/sim",
+}
+
+func isSimPkg(path string) bool {
+	for _, s := range simPkgSuffixes {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcInfo records where a function is declared so reachability walks can
+// revisit its body.
+type funcInfo struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// callGraph is the static call graph of the module: FuncDecl-granularity
+// edges (calls inside func literals are attributed to the enclosing
+// declaration, which is what worker-closure reachability needs). funcs
+// preserves declaration order — package, file, then position — so every
+// consumer iterates deterministically instead of ranging over the maps.
+type callGraph struct {
+	edges map[*types.Func][]*types.Func
+	decls map[*types.Func]funcInfo
+	funcs []*types.Func
+}
+
+// buildCallGraph walks every declared function of the module once.
+func buildCallGraph(pkgs []*Package) *callGraph {
+	g := &callGraph{
+		edges: map[*types.Func][]*types.Func{},
+		decls: map[*types.Func]funcInfo{},
+	}
+	for _, p := range pkgs {
+		for _, file := range p.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				caller, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.decls[caller] = funcInfo{pkg: p, decl: fd}
+				g.funcs = append(g.funcs, caller)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if callee := calleeFunc(p, call); callee != nil {
+							g.edges[caller] = append(g.edges[caller], callee)
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return g
+}
+
+// reachableFrom returns the transitive closure over the call graph.
+func (g *callGraph) reachableFrom(roots []*types.Func) map[*types.Func]bool {
+	seen := map[*types.Func]bool{}
+	work := append([]*types.Func(nil), roots...)
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[fn] {
+			continue
+		}
+		seen[fn] = true
+		work = append(work, g.edges[fn]...)
+	}
+	return seen
+}
+
+// CheckModule implements ModuleAnalyzer.
+func (*Determinism) CheckModule(pkgs []*Package) []Finding {
+	g := buildCallGraph(pkgs)
+	var out []Finding
+	out = append(out, checkForbiddenClocks(pkgs, g)...)
+	out = append(out, checkMapRangeSinks(pkgs)...)
+	out = append(out, checkSharedSweepState(pkgs, g)...)
+	return out
+}
+
+// checkForbiddenClocks reports time.Now/Since/Until and math/rand calls in
+// functions that belong to — or are reachable from — the simulation
+// packages. The call is reported at its own site so the suppression (when
+// the use is legitimate progress reporting) sits next to the evidence.
+func checkForbiddenClocks(pkgs []*Package, g *callGraph) []Finding {
+	var roots []*types.Func
+	for _, fn := range g.funcs {
+		if isSimPkg(g.decls[fn].pkg.Path) {
+			roots = append(roots, fn)
+		}
+	}
+	reach := g.reachableFrom(roots)
+	var out []Finding
+	for _, fn := range g.funcs {
+		if !reach[fn] {
+			continue
+		}
+		info := g.decls[fn]
+		p := info.pkg
+		ast.Inspect(info.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(p, call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			if msg := forbiddenClockMsg(callee); msg != "" {
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(call.Pos()),
+					Rule: "determinism",
+					Msg:  msg,
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// forbiddenClockMsg classifies a callee as wall clock or randomness.
+func forbiddenClockMsg(fn *types.Func) string {
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return "time." + fn.Name() + " in a simulation path ties results to the wall clock; use sim.Time"
+		}
+	case "math/rand", "math/rand/v2":
+		return fn.Pkg().Path() + "." + fn.Name() + " in a simulation path makes results irreproducible; derive values from the configuration"
+	}
+	return ""
+}
+
+// emitNamePrefixes are callee names that put ranged elements somewhere
+// order matters: writers, printers, encoders, and event emitters.
+var emitNamePrefixes = []string{
+	"Write", "Print", "Fprint", "Event", "Emit", "Export", "Encode", "Marshal",
+}
+
+// checkMapRangeSinks reports map-range loops whose body feeds an
+// order-sensitive sink, unless a sort call follows later in the same
+// function (the collect-keys-then-sort idiom ranges the map to build the
+// key slice, then sorts it — that is the fix, not a violation).
+func checkMapRangeSinks(pkgs []*Package) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		if !strings.Contains(p.Path, "/internal/") {
+			continue
+		}
+		for _, file := range p.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				out = append(out, checkMapRangesIn(p, fd)...)
+			}
+		}
+	}
+	return out
+}
+
+func checkMapRangesIn(p *Package, fd *ast.FuncDecl) []Finding {
+	// Sort calls anywhere later in the function forgive earlier map ranges.
+	var sortPositions []int
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isSortCall(p, call) {
+			sortPositions = append(sortPositions, int(call.Pos()))
+		}
+		return true
+	})
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		sink := mapRangeSink(p, rs.Body)
+		if sink == "" {
+			return true
+		}
+		for _, sp := range sortPositions {
+			if sp > int(rs.Pos()) {
+				return true // collect-then-sort idiom
+			}
+		}
+		out = append(out, Finding{
+			Pos:  p.Fset.Position(rs.For),
+			Rule: "determinism",
+			Msg:  "map iteration order feeds " + sink + "; collect and sort the keys first",
+		})
+		return true
+	})
+	return out
+}
+
+// isSortCall recognizes sort.* and slices.Sort* calls.
+func isSortCall(p *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		return true
+	case "slices":
+		return strings.HasPrefix(fn.Name(), "Sort")
+	}
+	return false
+}
+
+// mapRangeSink scans a map-range body for an order-sensitive sink and
+// names it ("" when the body is order-insensitive, e.g. counting or
+// map-to-map copies).
+func mapRangeSink(p *Package, body *ast.BlockStmt) string {
+	sink := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.SendStmt:
+			sink = "a channel send"
+			return false
+		case *ast.CallExpr:
+			switch fun := unparen(v.Fun).(type) {
+			case *ast.Ident:
+				if _, isBuiltin := p.Info.Uses[fun].(*types.Builtin); isBuiltin {
+					if fun.Name == "append" {
+						sink = "append"
+						return false
+					}
+					return true
+				}
+				// A call through a local func-typed variable (emit
+				// closures like persist's line writer).
+				if obj, ok := p.Info.Uses[fun].(*types.Var); ok {
+					if _, isFunc := obj.Type().Underlying().(*types.Signature); isFunc {
+						sink = "the local function value " + fun.Name
+						return false
+					}
+				}
+				if emitName(fun.Name) {
+					sink = fun.Name
+					return false
+				}
+			case *ast.SelectorExpr:
+				if emitName(fun.Sel.Name) {
+					sink = fun.Sel.Name
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// emitName reports whether a callee name looks like an output/emit call.
+func emitName(name string) bool {
+	for _, pre := range emitNamePrefixes {
+		if strings.HasPrefix(name, pre) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSharedSweepState reports writes to package-level variables in
+// functions reachable from SweepParallel — state the worker pool would race
+// on or at least reorder. Variables guarded by a mutex field or living in
+// sync/atomic types are exempt.
+func checkSharedSweepState(pkgs []*Package, g *callGraph) []Finding {
+	var roots []*types.Func
+	for _, fn := range g.funcs {
+		if fn.Name() == "SweepParallel" && strings.HasSuffix(g.decls[fn].pkg.Path, "/internal/hetero") {
+			roots = append(roots, fn)
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	reach := g.reachableFrom(roots)
+	var out []Finding
+	for _, fn := range g.funcs {
+		if !reach[fn] || fn.Name() == "init" {
+			continue
+		}
+		info := g.decls[fn]
+		p := info.pkg
+		ast.Inspect(info.decl.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					if v := pkgLevelTarget(p, lhs); v != nil {
+						out = append(out, sharedStateFinding(p, lhs, v))
+					}
+				}
+			case *ast.IncDecStmt:
+				if v := pkgLevelTarget(p, s.X); v != nil {
+					out = append(out, sharedStateFinding(p, s.X, v))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func sharedStateFinding(p *Package, at ast.Expr, v *types.Var) Finding {
+	return Finding{
+		Pos:  p.Fset.Position(at.Pos()),
+		Rule: "determinism",
+		Msg:  "write to package-level " + v.Name() + " is reachable from SweepParallel workers; guard it or thread it through the scheduler",
+	}
+}
+
+// pkgLevelTarget resolves an assignment target to an unsynchronized
+// package-level variable, or nil.
+func pkgLevelTarget(p *Package, e ast.Expr) *types.Var {
+	base := e
+	for {
+		switch v := unparen(base).(type) {
+		case *ast.SelectorExpr:
+			base = v.X
+		case *ast.IndexExpr:
+			base = v.X
+		case *ast.StarExpr:
+			base = v.X
+		default:
+			id, ok := unparen(base).(*ast.Ident)
+			if !ok {
+				return nil
+			}
+			obj, ok := p.Info.Uses[id].(*types.Var)
+			if !ok || obj.Parent() != p.Types.Scope() {
+				return nil
+			}
+			if syncGuarded(obj.Type()) {
+				return nil
+			}
+			return obj
+		}
+	}
+}
+
+// syncGuarded reports whether a type is (or embeds) a sync/atomic guard, in
+// which case concurrent writes are the type's own business.
+func syncGuarded(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync", "sync/atomic":
+				return true
+			}
+		}
+		t = named.Underlying()
+	}
+	st, ok := t.(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if named, ok := ft.(*types.Named); ok {
+			if pkg := named.Obj().Pkg(); pkg != nil && (pkg.Path() == "sync" || pkg.Path() == "sync/atomic") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,349 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+)
+
+// The unit-fact lattice of the dataflow layer. Every value the propagation
+// engine tracks carries one Fact describing which address/index domain of
+// the protection geometry it lives in (PAPER.md section 4.2-4.4, Eq. 1-4):
+// byte addresses, 64B block indexes, 512B partition indexes, 32KB chunk
+// indexes, DRAM beat counts, and granularities. Facts are seeded from the
+// signatures of the internal/meta geometry helpers — the single place the
+// raw unit relationships are allowed to live — and flow through
+// assignments, returns, and call boundaries (see dataflow.go). Arithmetic
+// combining two different unit facts is the cross-function unit mixing the
+// local unitmix rule cannot see.
+type Fact uint8
+
+const (
+	// FactNone means no unit evidence yet (bottom).
+	FactNone Fact = iota
+	// FactByteAddr marks byte addresses, byte offsets, and byte sizes.
+	FactByteAddr
+	// FactBlockIdx marks 64B block indexes (global or chunk-relative) and
+	// block counts.
+	FactBlockIdx
+	// FactPartIdx marks 512B partition indexes and partition counts.
+	FactPartIdx
+	// FactChunkIdx marks 32KB chunk indexes and chunk counts.
+	FactChunkIdx
+	// FactBeat marks DRAM beat counts.
+	FactBeat
+	// FactGran marks granularity values (meta.Gran).
+	FactGran
+	// factMixed means conflicting evidence was joined (top). It behaves as
+	// unknown for checks and is never promoted back to a unit fact.
+	factMixed
+)
+
+// String returns the label used in findings.
+func (f Fact) String() string {
+	switch f {
+	case FactByteAddr:
+		return "byte-address"
+	case FactBlockIdx:
+		return "block-index"
+	case FactPartIdx:
+		return "partition-index"
+	case FactChunkIdx:
+		return "chunk-index"
+	case FactBeat:
+		return "beat-count"
+	case FactGran:
+		return "granularity"
+	}
+	return "unknown"
+}
+
+// known reports whether the fact carries unit evidence usable in checks.
+func (f Fact) known() bool { return f != FactNone && f != factMixed }
+
+// joinFact combines evidence from two sources: agreement keeps the fact,
+// absence defers to the other side, and disagreement poisons the value to
+// factMixed so one bad source cannot cascade findings through the module.
+func joinFact(a, b Fact) Fact {
+	switch {
+	case a == b, b == FactNone:
+		return a
+	case a == FactNone:
+		return b
+	default:
+		return factMixed
+	}
+}
+
+// geomConst identifies the named geometry constants of internal/meta whose
+// multiplication/division converts between unit domains (Eq. 1-4).
+type geomConst uint8
+
+const (
+	gcNone geomConst = iota
+	gcBlockSize
+	gcPartitionSize
+	gcChunkSize
+	gcBlocksPerChunk
+	gcBlocksPerPartition
+	gcPartsPerChunk
+	gcMACsPerLine
+	gcMACSize
+	gcGTEntrySize
+	gcArity
+)
+
+// geomConstNames maps meta constant names to their conversion identity.
+var geomConstNames = map[string]geomConst{
+	"BlockSize":          gcBlockSize,
+	"PartitionSize":      gcPartitionSize,
+	"ChunkSize":          gcChunkSize,
+	"BlocksPerChunk":     gcBlocksPerChunk,
+	"BlocksPerPartition": gcBlocksPerPartition,
+	"PartsPerChunk":      gcPartsPerChunk,
+	"MACsPerLine":        gcMACsPerLine,
+	"MACSize":            gcMACSize,
+	"GTEntrySize":        gcGTEntrySize,
+	"Arity":              gcArity,
+}
+
+// constFact is the unit domain a geometry constant itself carries when used
+// as a plain quantity: the sizes are byte quantities, the per-X counts are
+// counts in their own index domain.
+var constFact = map[geomConst]Fact{
+	gcBlockSize:          FactByteAddr,
+	gcPartitionSize:      FactByteAddr,
+	gcChunkSize:          FactByteAddr,
+	gcMACSize:            FactByteAddr,
+	gcGTEntrySize:        FactByteAddr,
+	gcBlocksPerChunk:     FactBlockIdx,
+	gcBlocksPerPartition: FactBlockIdx,
+	gcMACsPerLine:        FactBlockIdx,
+	gcPartsPerChunk:      FactPartIdx,
+	gcArity:              FactNone,
+}
+
+// factConst keys the unit-conversion tables.
+type factConst struct {
+	f Fact
+	c geomConst
+}
+
+// mulConv: fact * constant -> fact (index scaled up into a finer domain).
+var mulConv = map[factConst]Fact{
+	{FactBlockIdx, gcBlockSize}:         FactByteAddr,
+	{FactPartIdx, gcPartitionSize}:      FactByteAddr,
+	{FactChunkIdx, gcChunkSize}:         FactByteAddr,
+	{FactChunkIdx, gcGTEntrySize}:       FactByteAddr,
+	{FactPartIdx, gcBlocksPerPartition}: FactBlockIdx,
+	{FactChunkIdx, gcBlocksPerChunk}:    FactBlockIdx,
+	{FactChunkIdx, gcPartsPerChunk}:     FactPartIdx,
+	{FactBeat, gcBlockSize}:             FactByteAddr,
+}
+
+// quoConv: fact / constant -> fact (index scaled down into a coarser domain).
+var quoConv = map[factConst]Fact{
+	{FactByteAddr, gcBlockSize}:          FactBlockIdx,
+	{FactByteAddr, gcPartitionSize}:      FactPartIdx,
+	{FactByteAddr, gcChunkSize}:          FactChunkIdx,
+	{FactBlockIdx, gcBlocksPerPartition}: FactPartIdx,
+	{FactBlockIdx, gcBlocksPerChunk}:     FactChunkIdx,
+	{FactPartIdx, gcPartsPerChunk}:       FactChunkIdx,
+}
+
+// sigFacts seeds the parameter and result unit facts of one function or
+// method. A FactNone entry leaves that position unconstrained.
+type sigFacts struct {
+	params  []Fact
+	results []Fact
+}
+
+// seedSigs is the authority the dataflow engine trusts: the geometry
+// helpers of internal/meta (plus the beat-rounding helper of internal/core)
+// declare which domain each argument and result lives in. Keys are
+// "pkg-path.Func" for functions and "pkg-path.Type.Method" for methods.
+var seedSigs = map[string]sigFacts{
+	metaPath + ".ChunkIndex":   {params: []Fact{FactByteAddr}, results: []Fact{FactChunkIdx}},
+	metaPath + ".ChunkBase":    {params: []Fact{FactByteAddr}, results: []Fact{FactByteAddr}},
+	metaPath + ".PartIndex":    {params: []Fact{FactByteAddr}, results: []Fact{FactPartIdx}},
+	metaPath + ".BlockIndex":   {params: []Fact{FactByteAddr}, results: []Fact{FactBlockIdx}},
+	metaPath + ".BlockInChunk": {params: []Fact{FactByteAddr}, results: []Fact{FactBlockIdx}},
+	metaPath + ".AlignGran":    {params: []Fact{FactByteAddr, FactGran}, results: []Fact{FactByteAddr}},
+	metaPath + ".AlignBlock":   {params: []Fact{FactByteAddr}, results: []Fact{FactByteAddr}},
+	metaPath + ".Aligned":      {params: []Fact{FactByteAddr, FactByteAddr}},
+	metaPath + ".NewGeometry":  {params: []Fact{FactByteAddr}},
+	metaPath + ".GranForBytes": {params: []Fact{FactByteAddr}, results: []Fact{FactGran, FactNone}},
+
+	metaPath + ".Geometry.CounterEntryIndex": {params: []Fact{FactNone, FactBlockIdx}},
+	metaPath + ".Geometry.CounterLineAddr":   {params: []Fact{FactNone, FactBlockIdx}, results: []Fact{FactByteAddr}},
+	metaPath + ".Geometry.CounterSlot":       {params: []Fact{FactNone, FactBlockIdx}},
+	metaPath + ".Geometry.RootSlot":          {params: []Fact{FactBlockIdx}},
+	metaPath + ".Geometry.MACLineAddr":       {params: []Fact{FactChunkIdx, FactNone}, results: []Fact{FactByteAddr}},
+	metaPath + ".Geometry.MACAddr":           {params: []Fact{FactChunkIdx, FactNone}, results: []Fact{FactByteAddr}},
+	metaPath + ".Geometry.MACAddrFor":        {params: []Fact{FactByteAddr, FactNone}, results: []Fact{FactByteAddr, FactGran}},
+	metaPath + ".Geometry.GTEntryAddr":       {params: []Fact{FactChunkIdx}, results: []Fact{FactByteAddr}},
+	metaPath + ".Geometry.WalkLen":           {params: []Fact{FactGran}},
+	metaPath + ".Geometry.Blocks":            {results: []Fact{FactBlockIdx}},
+	metaPath + ".Geometry.Chunks":            {results: []Fact{FactChunkIdx}},
+	metaPath + ".Geometry.MetadataBytes":     {results: []Fact{FactByteAddr}},
+
+	metaPath + ".Gran.Bytes":  {results: []Fact{FactByteAddr}},
+	metaPath + ".Gran.Blocks": {results: []Fact{FactBlockIdx}},
+
+	metaPath + ".Table.Current":    {params: []Fact{FactChunkIdx}},
+	metaPath + ".Table.Next":       {params: []Fact{FactChunkIdx}},
+	metaPath + ".Table.Pending":    {params: []Fact{FactChunkIdx, FactBlockIdx}},
+	metaPath + ".Table.SetNext":    {params: []Fact{FactChunkIdx, FactNone}},
+	metaPath + ".Table.CommitUnit": {params: []Fact{FactChunkIdx, FactBlockIdx}, results: []Fact{FactGran, FactGran}},
+	metaPath + ".Table.CommitAll":  {params: []Fact{FactChunkIdx}},
+
+	metaPath + ".StreamPart.GranOf":      {params: []Fact{FactPartIdx}, results: []Fact{FactGran}},
+	metaPath + ".StreamPart.GranOfBlock": {params: []Fact{FactBlockIdx}, results: []Fact{FactGran}},
+	metaPath + ".StreamPart.MACSlot":     {params: []Fact{FactBlockIdx}, results: []Fact{FactNone, FactGran}},
+	metaPath + ".StreamPart.UnitOf":      {params: []Fact{FactBlockIdx}},
+	metaPath + ".StreamPart.IsStream":    {params: []Fact{FactPartIdx}},
+	metaPath + ".StreamPart.PromoteMask": {params: []Fact{FactPartIdx, FactPartIdx}},
+	metaPath + ".StreamPart.DemoteMask":  {params: []Fact{FactPartIdx, FactPartIdx}},
+
+	corePath + ".beatsOf": {params: []Fact{FactByteAddr}, results: []Fact{FactBeat}},
+}
+
+// seedFields declares the unit domain of load-bearing struct fields. Slice
+// fields carry the fact of their elements (the container-as-element
+// convention the expression evaluator uses for indexing and range).
+var seedFields = map[string]Fact{
+	corePath + ".Request.Addr": FactByteAddr,
+	corePath + ".Request.Size": FactByteAddr,
+
+	metaPath + ".Geometry.RegionBytes": FactByteAddr,
+	metaPath + ".Geometry.MACBase":     FactByteAddr,
+	metaPath + ".Geometry.CounterBase": FactByteAddr,
+	metaPath + ".Geometry.GTBase":      FactByteAddr,
+	metaPath + ".Geometry.End":         FactByteAddr,
+	metaPath + ".Unit.Block":           FactBlockIdx,
+
+	treePath + ".Walk.Fetches": FactByteAddr,
+
+	trackerPath + ".Detection.Chunk": FactChunkIdx,
+}
+
+// corePath / treePath / trackerPath locate the engine packages inside the
+// module under analysis (the module path itself comes from go.mod, so
+// fixture modules work as long as they mirror the internal/ layout).
+const (
+	corePath    = "unimem/internal/core"
+	treePath    = "unimem/internal/tree"
+	trackerPath = "unimem/internal/tracker"
+	heteroPath  = "unimem/internal/hetero"
+)
+
+// lookupSeedObjects resolves the seed tables against the loaded packages,
+// returning per-object seed facts plus the geometry-constant identities.
+// Missing entries (fixture modules that stub only part of meta) are skipped.
+func lookupSeedObjects(pkgs []*Package) (seeds map[types.Object]Fact, consts map[types.Object]geomConst) {
+	seeds = map[types.Object]Fact{}
+	consts = map[types.Object]geomConst{}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	meta := byPath[metaPath]
+	if meta != nil {
+		for name, gc := range geomConstNames {
+			if obj := meta.Types.Scope().Lookup(name); obj != nil {
+				consts[obj] = gc
+			}
+		}
+	}
+	for key, sig := range seedSigs {
+		fn := lookupFunc(byPath, key)
+		if fn == nil {
+			continue
+		}
+		s := fn.Type().(*types.Signature)
+		for i, f := range sig.params {
+			if f != FactNone && i < s.Params().Len() {
+				seeds[s.Params().At(i)] = f
+			}
+		}
+		for i, f := range sig.results {
+			if f != FactNone && i < s.Results().Len() {
+				seeds[s.Results().At(i)] = f
+			}
+		}
+	}
+	for key, f := range seedFields {
+		if obj := lookupField(byPath, key); obj != nil {
+			seeds[obj] = f
+		}
+	}
+	return seeds, consts
+}
+
+// lookupFunc resolves "pkg-path.Func" or "pkg-path.Type.Method" to its
+// object in the loaded module.
+func lookupFunc(byPath map[string]*Package, key string) *types.Func {
+	pkgPath, rest := splitSeedKey(key)
+	p := byPath[pkgPath]
+	if p == nil {
+		return nil
+	}
+	parts := strings.Split(rest, ".")
+	switch len(parts) {
+	case 1:
+		fn, _ := p.Types.Scope().Lookup(parts[0]).(*types.Func)
+		return fn
+	case 2:
+		tn, ok := p.Types.Scope().Lookup(parts[0]).(*types.TypeName)
+		if !ok {
+			return nil
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			return nil
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == parts[1] {
+				return m
+			}
+		}
+	}
+	return nil
+}
+
+// lookupField resolves "pkg-path.Type.Field" to the field object.
+func lookupField(byPath map[string]*Package, key string) types.Object {
+	pkgPath, rest := splitSeedKey(key)
+	p := byPath[pkgPath]
+	if p == nil {
+		return nil
+	}
+	parts := strings.Split(rest, ".")
+	if len(parts) != 2 {
+		return nil
+	}
+	tn, ok := p.Types.Scope().Lookup(parts[0]).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == parts[1] {
+			return f
+		}
+	}
+	return nil
+}
+
+// splitSeedKey separates the package path (everything up to the last '/')
+// plus its first dotted segment from the member part of a seed key.
+func splitSeedKey(key string) (pkgPath, rest string) {
+	slash := strings.LastIndex(key, "/")
+	dot := strings.Index(key[slash+1:], ".")
+	if dot < 0 {
+		return key, ""
+	}
+	return key[:slash+1+dot], key[slash+1+dot+1:]
+}

@@ -3,14 +3,17 @@
 // go/ast and go/types (no external dependencies) and runs analyzers that
 // encode the protection engine's domain rules — named granularity constants
 // instead of magic literals, picosecond/cycle unit discipline, 64B address
-// alignment, and no silently dropped errors. cmd/mglint is the CLI driver;
-// the runtime counterpart of these compile-time rules is internal/check.
+// alignment, no silently dropped errors, and the module-wide dataflow rules
+// (unit-flow, determinism, probe-discipline) built on the fact-propagation
+// engine in dataflow.go. cmd/mglint is the CLI driver; the runtime
+// counterpart of these compile-time rules is internal/check.
 package lint
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"os"
 	"sort"
 	"strings"
 )
@@ -40,6 +43,15 @@ type Analyzer interface {
 	Check(p *Package) []Finding
 }
 
+// ModuleAnalyzer is an analyzer that additionally (or instead) needs the
+// whole type-checked module at once — the dataflow rules propagate facts
+// across package boundaries, so per-package inspection cannot see their
+// violations. CheckModule is called exactly once per run.
+type ModuleAnalyzer interface {
+	Analyzer
+	CheckModule(pkgs []*Package) []Finding
+}
+
 // Analyzers returns the full rule set in stable order.
 func Analyzers() []Analyzer {
 	return []Analyzer{
@@ -47,6 +59,9 @@ func Analyzers() []Analyzer {
 		&UnitMixing{},
 		&Alignment{},
 		&UncheckedReturn{},
+		&UnitFlow{},
+		&Determinism{},
+		&ProbeDiscipline{},
 	}
 }
 
@@ -69,17 +84,64 @@ type Options struct {
 }
 
 // Run lints the module containing root and returns unsuppressed findings
-// sorted by position.
+// sorted by position, with filenames relative to the module root (stable
+// across checkouts, which the baseline and SARIF output rely on).
 func Run(root string, opts Options) ([]Finding, error) {
+	absRoot, _, err := FindModuleRoot(root)
+	if err != nil {
+		return nil, err
+	}
 	pkgs, err := Load(root, opts.Load)
 	if err != nil {
 		return nil, err
 	}
-	return Check(pkgs, opts.Rules)
+	fs, err := Check(pkgs, opts.Rules)
+	if err != nil {
+		return nil, err
+	}
+	return RelativeTo(fs, absRoot), nil
+}
+
+// RunAudit lints like Run but with every rule enabled, returning both the
+// findings and the stale (unused) suppression directives.
+func RunAudit(root string, load LoadOptions) (findings, stale []Finding, err error) {
+	absRoot, _, err := FindModuleRoot(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	pkgs, err := Load(root, load)
+	if err != nil {
+		return nil, nil, err
+	}
+	findings, stale, err = check(pkgs, nil, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return RelativeTo(findings, absRoot), RelativeTo(stale, absRoot), nil
+}
+
+// RelativeTo rewrites finding filenames relative to root.
+func RelativeTo(fs []Finding, root string) []Finding {
+	root = strings.TrimSuffix(root, string(os.PathSeparator)) + string(os.PathSeparator)
+	for i := range fs {
+		fs[i].Pos.Filename = strings.TrimPrefix(fs[i].Pos.Filename, root)
+	}
+	return fs
 }
 
 // Check runs the (optionally restricted) rule set over loaded packages.
 func Check(pkgs []*Package, rules []string) ([]Finding, error) {
+	fs, _, err := check(pkgs, rules, false)
+	return fs, err
+}
+
+// check is the shared driver: it resolves the rule set, collects raw
+// findings from per-package and module-wide analyzers, applies
+// suppressions (marking the directives that fired), and returns the
+// survivors sorted and deduplicated. With audit set, unused directives are
+// returned as stale findings — meaningful only when every rule ran, which
+// the caller must ensure (RunAudit passes rules=nil).
+func check(pkgs []*Package, rules []string, audit bool) (findings, stale []Finding, err error) {
 	var analyzers []Analyzer
 	if len(rules) == 0 {
 		analyzers = Analyzers()
@@ -87,24 +149,39 @@ func Check(pkgs []*Package, rules []string) ([]Finding, error) {
 		for _, name := range rules {
 			a, ok := AnalyzerByName(name)
 			if !ok {
-				return nil, fmt.Errorf("lint: unknown rule %q", name)
+				return nil, nil, fmt.Errorf("lint: unknown rule %q", name)
 			}
 			analyzers = append(analyzers, a)
 		}
 	}
+	sup := suppressionsOf(pkgs)
 	var out []Finding
-	for _, p := range pkgs {
-		sup := suppressionsOf(p)
-		out = append(out, sup.malformed...)
-		for _, a := range analyzers {
-			for _, f := range a.Check(p) {
-				if sup.covers(f) {
-					continue
+	out = append(out, sup.malformed...)
+	for _, a := range analyzers {
+		if ma, ok := a.(ModuleAnalyzer); ok {
+			for _, f := range ma.CheckModule(pkgs) {
+				if !sup.covers(f) {
+					out = append(out, f)
 				}
-				out = append(out, f)
+			}
+		}
+		for _, p := range pkgs {
+			for _, f := range a.Check(p) {
+				if !sup.covers(f) {
+					out = append(out, f)
+				}
 			}
 		}
 	}
+	if audit {
+		stale = sup.stale()
+	}
+	return sortFindings(out), sortFindings(stale), nil
+}
+
+// sortFindings orders by (file, line, col, rule) and drops exact
+// duplicates — the provably deterministic output contract.
+func sortFindings(out []Finding) []Finding {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -116,7 +193,10 @@ func Check(pkgs []*Package, rules []string) ([]Finding, error) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
 	})
 	// Nested expressions can hit one rule twice at one position; report once.
 	dedup := out[:0]
@@ -126,71 +206,140 @@ func Check(pkgs []*Package, rules []string) ([]Finding, error) {
 		}
 		dedup = append(dedup, f)
 	}
-	return dedup, nil
+	return dedup
 }
 
 // IgnorePrefix introduces a suppression comment:
 //
 //	//lint:ignore mglint/<rule> <reason>
 //
-// placed on the offending line or the line directly above it. The reason is
-// mandatory; a directive without one is itself reported.
+// A directive on a line of its own covers the following line; a directive
+// at the end of a code line covers only that line. The reason is mandatory;
+// a directive without one is itself reported.
 const IgnorePrefix = "//lint:ignore "
 
-// suppressions maps file:line to the rule names suppressed there.
+// directive is one parsed suppression comment.
+type directive struct {
+	pos  token.Position
+	rule string
+	// covs is the source line the directive covers (its own line for
+	// end-of-line placement, the next line for standalone placement).
+	covs int
+	used bool
+}
+
+// suppressions indexes every well-formed directive of the module.
 type suppressions struct {
-	// byLine maps filename -> line -> rules.
-	byLine map[string]map[int][]string
+	// byLine maps filename -> covered line -> directives.
+	byLine map[string]map[int][]*directive
+	// all preserves scan order (packages sorted by path, files and
+	// comments in source order) so the stale audit iterates
+	// deterministically.
+	all []*directive
 	// malformed collects directives without a rule or reason.
 	malformed []Finding
 }
 
-// suppressionsOf scans a package's comments for ignore directives. Each
-// directive covers its own source line and the following line, so both
-// end-of-line and line-above placement work.
-func suppressionsOf(p *Package) *suppressions {
-	s := &suppressions{byLine: map[string]map[int][]string{}}
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, strings.TrimSpace(IgnorePrefix))
-				if !ok {
-					continue
+// suppressionsOf scans all packages' comments for ignore directives. A
+// directive whose line holds code before the comment is end-of-line and
+// covers its own line; a directive alone on its line covers the next line.
+// The distinction matters when two findings sit on adjacent lines: an
+// end-of-line directive must not leak onto the neighbour below.
+func suppressionsOf(pkgs []*Package) *suppressions {
+	s := &suppressions{byLine: map[string]map[int][]*directive{}}
+	lineCache := map[string][]string{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, strings.TrimSpace(IgnorePrefix))
+					if !ok {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					if len(fields) < 2 || !strings.HasPrefix(fields[0], "mglint/") {
+						s.malformed = append(s.malformed, Finding{
+							Pos:  pos,
+							Rule: "ignore-directive",
+							Msg:  "malformed suppression: want //lint:ignore mglint/<rule> <reason>",
+						})
+						continue
+					}
+					d := &directive{
+						pos:  pos,
+						rule: strings.TrimPrefix(fields[0], "mglint/"),
+						covs: pos.Line + 1,
+					}
+					if eolDirective(lineCache, pos) {
+						d.covs = pos.Line
+					}
+					lines := s.byLine[pos.Filename]
+					if lines == nil {
+						lines = map[int][]*directive{}
+						s.byLine[pos.Filename] = lines
+					}
+					lines[d.covs] = append(lines[d.covs], d)
+					s.all = append(s.all, d)
 				}
-				pos := p.Fset.Position(c.Pos())
-				fields := strings.Fields(rest)
-				if len(fields) < 2 || !strings.HasPrefix(fields[0], "mglint/") {
-					s.malformed = append(s.malformed, Finding{
-						Pos:  pos,
-						Rule: "ignore-directive",
-						Msg:  "malformed suppression: want //lint:ignore mglint/<rule> <reason>",
-					})
-					continue
-				}
-				rule := strings.TrimPrefix(fields[0], "mglint/")
-				lines := s.byLine[pos.Filename]
-				if lines == nil {
-					lines = map[int][]string{}
-					s.byLine[pos.Filename] = lines
-				}
-				lines[pos.Line] = append(lines[pos.Line], rule)
-				lines[pos.Line+1] = append(lines[pos.Line+1], rule)
 			}
 		}
 	}
 	return s
 }
 
-// covers reports whether the finding is suppressed. Malformed directives are
-// never treated as suppressions; they surface as findings of their own
-// through the driver (see Check).
+// eolDirective reports whether the directive at pos shares its line with
+// code (true: end-of-line placement). Decided from the raw source so that
+// the answer does not depend on which AST node the comment attached to. An
+// unreadable file conservatively counts as standalone, the historically
+// dominant placement.
+func eolDirective(cache map[string][]string, pos token.Position) bool {
+	lines, ok := cache[pos.Filename]
+	if !ok {
+		data, err := os.ReadFile(pos.Filename)
+		if err != nil {
+			cache[pos.Filename] = nil
+			return false
+		}
+		lines = strings.Split(string(data), "\n")
+		cache[pos.Filename] = lines
+	}
+	if pos.Line-1 >= len(lines) || pos.Column < 1 {
+		return false
+	}
+	line := lines[pos.Line-1]
+	if pos.Column-1 > len(line) {
+		return false
+	}
+	return strings.TrimSpace(line[:pos.Column-1]) != ""
+}
+
+// covers reports whether the finding is suppressed, marking the first
+// matching directive as used (only the first: a duplicate directive for
+// the same rule and line does nothing and should surface as stale).
 func (s *suppressions) covers(f Finding) bool {
-	for _, rule := range s.byLine[f.Pos.Filename][f.Pos.Line] {
-		if rule == f.Rule || rule == "all" {
+	for _, d := range s.byLine[f.Pos.Filename][f.Pos.Line] {
+		if d.rule == f.Rule || d.rule == "all" {
+			d.used = true
 			return true
 		}
 	}
 	return false
+}
+
+// stale returns one finding per directive that never suppressed anything.
+func (s *suppressions) stale() []Finding {
+	var out []Finding
+	for _, d := range s.all {
+		if !d.used {
+			out = append(out, Finding{
+				Pos:  d.pos,
+				Rule: "stale-suppression",
+				Msg:  "suppression for mglint/" + d.rule + " no longer matches any finding; remove it",
+			})
+		}
+	}
+	return out
 }
 
 // inspect walks every file of the package with a parent stack, calling fn

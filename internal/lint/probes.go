@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// ProbeDiscipline keeps the observability layer honest: every Table 2
+// switch-cost charge site and DRAM-beat accounting site in internal/core
+// must emit the matching probe event, and all memory traffic must go
+// through the memRead/memWrite seam in observe.go. Without this rule the
+// cost model and the event stream can silently drift apart — a new charge
+// site that forgets its probe produces correct totals and an incomplete
+// trace, which no dynamic test notices.
+//
+// The pairing is derived, not hard-coded: a SwitchStats field F needs
+// probeSwitch(..., probe.SwF) in the same enclosing function if and only if
+// the probe package declares a constant SwF. Fields without a constant
+// (Correct — a non-event) are exempt by construction, and adding a new
+// class to both sides keeps the rule in sync automatically.
+type ProbeDiscipline struct{}
+
+// Name implements Analyzer.
+func (*ProbeDiscipline) Name() string { return "probe-discipline" }
+
+// Doc implements Analyzer.
+func (*ProbeDiscipline) Doc() string {
+	return "internal/core cost-accounting sites must emit the matching probe event (observe.go seam)"
+}
+
+// walkFields are the Stats walk counters that must be accompanied by a
+// probeWalk call in the same function.
+var walkFields = map[string]bool{
+	"WalkLevels": true, "PrunedWalks": true, "SubtreeHits": true,
+}
+
+// Check implements Analyzer.
+func (pd *ProbeDiscipline) Check(p *Package) []Finding {
+	if !strings.HasSuffix(p.Path, "/internal/core") {
+		return nil
+	}
+	classes := probeSwitchClasses(p)
+	var out []Finding
+	for _, file := range p.Files {
+		exemptSeam := filepath.Base(p.Fset.Position(file.Pos()).Filename) == "observe.go"
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, checkProbeScope(p, fd.Body, classes, exemptSeam)...)
+		}
+	}
+	return out
+}
+
+// probeSwitchClasses collects the Sw* switch-class constants the probe
+// package declares, through core's own import of it.
+func probeSwitchClasses(p *Package) map[string]bool {
+	classes := map[string]bool{}
+	for _, imp := range p.Types.Imports() {
+		if !strings.HasSuffix(imp.Path(), "/internal/probe") {
+			continue
+		}
+		scope := imp.Scope()
+		for _, name := range scope.Names() {
+			if _, ok := scope.Lookup(name).(*types.Const); ok && strings.HasPrefix(name, "Sw") {
+				classes[name] = true
+			}
+		}
+	}
+	return classes
+}
+
+// accounting is one cost-accounting increment found in a function scope.
+type accounting struct {
+	pos   token.Pos
+	field string
+	// parent is the selector one hop up ("Switches" or "Stats").
+	parent string
+}
+
+// probeCalls records which probe emissions a function scope performs.
+type probeCalls struct {
+	switchClasses map[string]bool
+	// switchWild is set when probeSwitch is called with a non-constant
+	// class (a forwarded parameter covers every class).
+	switchWild   bool
+	hasOverfetch bool
+	hasWalk      bool
+}
+
+// checkProbeScope analyzes one function scope (FuncDecl or FuncLit body);
+// nested literals recurse as their own scopes, matching how the engine
+// structures its per-unit callbacks.
+func checkProbeScope(p *Package, body *ast.BlockStmt, classes map[string]bool, exemptSeam bool) []Finding {
+	var accs []accounting
+	calls := probeCalls{switchClasses: map[string]bool{}}
+	var out []Finding
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			out = append(out, checkProbeScope(p, v.Body, classes, exemptSeam)...)
+			return false
+		case *ast.IncDecStmt:
+			if v.Tok == token.INC {
+				if acc, ok := accountingSite(v.X); ok {
+					accs = append(accs, acc)
+				}
+			}
+		case *ast.AssignStmt:
+			if v.Tok == token.ADD_ASSIGN && len(v.Lhs) == 1 {
+				if acc, ok := accountingSite(v.Lhs[0]); ok {
+					accs = append(accs, acc)
+				}
+			}
+		case *ast.CallExpr:
+			recordProbeCall(p, v, &calls)
+			if !exemptSeam {
+				if name, ok := rawMemoryCall(p, v); ok {
+					out = append(out, Finding{
+						Pos:  p.Fset.Position(v.Pos()),
+						Rule: "probe-discipline",
+						Msg:  "(*mem.Memory)." + name + " bypasses the probe seam; route traffic through memRead/memWrite (observe.go)",
+					})
+				}
+			}
+		}
+		return true
+	})
+
+	for _, acc := range accs {
+		switch {
+		case acc.parent == "Switches":
+			want := "Sw" + acc.field
+			if !classes[want] {
+				continue // no probe class for this field (e.g. Correct)
+			}
+			if !calls.switchWild && !calls.switchClasses[want] {
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(acc.pos),
+					Rule: "probe-discipline",
+					Msg:  "Switches." + acc.field + " is charged without probeSwitch(..., probe." + want + ") in the same function",
+				})
+			}
+		case acc.field == "OverfetchBeats":
+			if !calls.hasOverfetch {
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(acc.pos),
+					Rule: "probe-discipline",
+					Msg:  "OverfetchBeats is charged without probeOverfetch in the same function",
+				})
+			}
+		case walkFields[acc.field]:
+			if !calls.hasWalk {
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(acc.pos),
+					Rule: "probe-discipline",
+					Msg:  acc.field + " is charged without probeWalk in the same function",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// accountingSite classifies an increment target as a tracked cost counter.
+func accountingSite(e ast.Expr) (accounting, bool) {
+	sel, ok := unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return accounting{}, false
+	}
+	parent := ""
+	if inner, ok := unparen(sel.X).(*ast.SelectorExpr); ok {
+		parent = inner.Sel.Name
+	}
+	field := sel.Sel.Name
+	if parent == "Switches" || field == "OverfetchBeats" || walkFields[field] {
+		return accounting{pos: e.Pos(), field: field, parent: parent}, true
+	}
+	return accounting{}, false
+}
+
+// recordProbeCall notes probeSwitch/probeOverfetch/probeWalk emissions.
+func recordProbeCall(p *Package, call *ast.CallExpr, calls *probeCalls) {
+	name := ""
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	}
+	switch name {
+	case "probeOverfetch":
+		calls.hasOverfetch = true
+	case "probeWalk":
+		calls.hasWalk = true
+	case "probeSwitch":
+		if len(call.Args) == 0 {
+			return
+		}
+		last := call.Args[len(call.Args)-1]
+		if cls, ok := switchClassName(p, last); ok {
+			calls.switchClasses[cls] = true
+		} else {
+			calls.switchWild = true
+		}
+	}
+}
+
+// switchClassName resolves a probeSwitch class argument to its Sw*
+// constant name, when statically known.
+func switchClassName(p *Package, e ast.Expr) (string, bool) {
+	var obj types.Object
+	switch v := unparen(e).(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[v]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[v.Sel]
+	}
+	if c, ok := obj.(*types.Const); ok && strings.HasPrefix(c.Name(), "Sw") {
+		return c.Name(), true
+	}
+	return "", false
+}
+
+// rawMemoryCall detects direct (*mem.Memory).Read / .Write calls — memory
+// traffic that would be invisible to the probe layer.
+func rawMemoryCall(p *Package, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "/internal/mem") {
+		return "", false
+	}
+	if fn.Name() != "Read" && fn.Name() != "Write" {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Name() != "Memory" {
+		return "", false
+	}
+	return fn.Name(), true
+}

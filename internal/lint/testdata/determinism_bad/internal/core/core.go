@@ -1,0 +1,19 @@
+// Package core seeds the determinism rule's forbidden-clock violations.
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"unimem/internal/util"
+)
+
+// Step reads the wall clock and math/rand inside a simulation package, and
+// additionally reaches util.Jitter's wall-clock read (reported there).
+func Step() int64 {
+	if time.Now().IsZero() {
+		return 0
+	}
+	_ = util.Jitter()
+	return rand.Int63()
+}

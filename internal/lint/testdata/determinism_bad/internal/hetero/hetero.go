@@ -1,0 +1,24 @@
+// Package hetero seeds the map-range and shared-state violations.
+package hetero
+
+var workers int
+
+// SweepParallel is the worker-pool root the shared-state check walks from.
+func SweepParallel(m map[uint64]uint64) []uint64 {
+	bump()
+	return keys(m)
+}
+
+// keys feeds append from a map range without a later sort.
+func keys(m map[uint64]uint64) []uint64 {
+	var out []uint64
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// bump writes package-level state from the worker pool.
+func bump() {
+	workers++
+}

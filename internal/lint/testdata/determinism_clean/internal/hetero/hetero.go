@@ -1,0 +1,43 @@
+// Package hetero is the clean twin of determinism_bad: same shapes, with
+// the map range sorted, the shared counter mutex-guarded, and no clocks.
+package hetero
+
+import (
+	"sort"
+	"sync"
+)
+
+var state = struct {
+	mu sync.Mutex
+	n  int
+}{}
+
+// SweepParallel drives the repaired helpers.
+func SweepParallel(m map[uint64]uint64) []uint64 {
+	bump()
+	return keys(m)
+}
+
+// keys collects then sorts — the blessed idiom the rule recognizes.
+func keys(m map[uint64]uint64) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// bump guards the shared counter with the struct's own mutex.
+func bump() {
+	state.mu.Lock()
+	state.n++
+	state.mu.Unlock()
+}
+
+// copyTable is order-insensitive map work and must stay unflagged.
+func copyTable(dst, src map[uint64]uint64) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}

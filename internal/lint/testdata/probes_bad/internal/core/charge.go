@@ -1,0 +1,19 @@
+package core
+
+import "unimem/internal/probe"
+
+// ChargeMissing charges counters without their probe events and bypasses
+// the memory seam; Correct has no probe class and stays exempt.
+func (e *Engine) ChargeMissing(over int) {
+	e.Stats.Switches.DownAll++
+	e.Stats.Switches.Correct++
+	e.Stats.OverfetchBeats += uint64(over)
+	e.Stats.WalkLevels++
+	e.mm.Read(0, 64)
+}
+
+// ChargeWrongClass emits a probe for a different class than it charges.
+func (e *Engine) ChargeWrongClass() {
+	e.Stats.Switches.UpWAR++
+	e.probeSwitch(probe.SwDownAll)
+}

@@ -1,0 +1,12 @@
+// Package mem is the raw memory model; core must only reach it through
+// the observe.go seam.
+package mem
+
+// Memory is the raw backing store.
+type Memory struct{}
+
+// Read models a read transaction.
+func (m *Memory) Read(addr uint64, size int) {}
+
+// Write models a write transaction.
+func (m *Memory) Write(addr uint64, size int) {}

@@ -1,0 +1,13 @@
+// Package probe declares the switch-class constants the probe-discipline
+// rule derives its field pairing from.
+package probe
+
+// SwitchClass tags a granularity-switch cost event.
+type SwitchClass int
+
+// Switch classes mirror core.SwitchStats field for field; Correct has no
+// class on purpose (a correct prediction is a non-event).
+const (
+	SwDownAll SwitchClass = iota
+	SwUpWAR
+)

@@ -1,0 +1,31 @@
+package core
+
+import "unimem/internal/probe"
+
+// ChargePaired emits every matching probe event and routes traffic through
+// the seam.
+func (e *Engine) ChargePaired(over int) {
+	e.Stats.Switches.DownAll++
+	e.probeSwitch(probe.SwDownAll)
+	e.Stats.Switches.Correct++
+	e.Stats.OverfetchBeats += uint64(over)
+	e.probeOverfetch(over)
+	e.memRead(0, 64)
+}
+
+// ChargeForwarded forwards a caller-chosen class: the non-constant probe
+// argument covers every switch field in this scope.
+func (e *Engine) ChargeForwarded(c probe.SwitchClass) {
+	e.Stats.Switches.UpWAR++
+	e.probeSwitch(c)
+}
+
+// WalkInLiteral pairs the walk counter inside the same func literal — the
+// shape the real pipeline's per-unit callbacks use.
+func (e *Engine) WalkInLiteral() {
+	fn := func(levels int) {
+		e.probeWalk(levels)
+		e.Stats.WalkLevels++
+	}
+	fn(3)
+}

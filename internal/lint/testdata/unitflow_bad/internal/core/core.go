@@ -1,0 +1,36 @@
+// Package core seeds one unit-flow violation per Bad* function; the
+// laundering helper makes them invisible to expression-local rules.
+package core
+
+import "unimem/internal/meta"
+
+// chunkOf launders a chunk index through a call boundary, so only
+// cross-function fact propagation can see its unit.
+func chunkOf(addr uint64) uint64 {
+	return meta.ChunkIndex(addr)
+}
+
+// BadAdd adds a laundered chunk index to a byte address.
+func BadAdd(addr uint64) uint64 {
+	base := meta.ChunkBase(addr)
+	c := chunkOf(addr)
+	return base + c
+}
+
+// BadArg passes a chunk index where ChunkBase expects a byte address.
+func BadArg(addr uint64) uint64 {
+	c := meta.ChunkIndex(addr)
+	return meta.ChunkBase(c)
+}
+
+// BadCmp compares a block index against a partition index.
+func BadCmp(addr uint64) bool {
+	return meta.BlockIndex(addr) < meta.PartIndex(addr)
+}
+
+// BadAccum accumulates raw chunk indexes into a byte total.
+func BadAccum(addr uint64) uint64 {
+	total := meta.ChunkBase(addr)
+	total += meta.ChunkIndex(addr)
+	return total
+}

@@ -1,0 +1,25 @@
+// Package meta is the geometry stub the unit-flow seeds resolve against.
+package meta
+
+// Geometry constants (mirror the real module's values).
+const (
+	BlockSize          = 64
+	PartitionSize      = 512
+	ChunkSize          = 32768
+	BlocksPerPartition = 8
+	BlocksPerChunk     = 512
+	PartsPerChunk      = 64
+	MACsPerLine        = 8
+)
+
+// ChunkIndex returns the chunk index of a byte address.
+func ChunkIndex(addr uint64) uint64 { return addr / ChunkSize }
+
+// ChunkBase returns the chunk-aligned base of a byte address.
+func ChunkBase(addr uint64) uint64 { return addr &^ (ChunkSize - 1) }
+
+// BlockIndex returns the global block index of a byte address.
+func BlockIndex(addr uint64) uint64 { return addr / BlockSize }
+
+// PartIndex returns the partition index of a byte address.
+func PartIndex(addr uint64) uint64 { return addr / PartitionSize }

@@ -1,0 +1,35 @@
+// Package core is the clean twin of unitflow_bad: the same shapes with
+// every unit converted through the geometry before it crosses domains.
+package core
+
+import "unimem/internal/meta"
+
+// chunkOf launders a chunk index through a call boundary, exactly as the
+// bad twin does.
+func chunkOf(addr uint64) uint64 {
+	return meta.ChunkIndex(addr)
+}
+
+// GoodAdd converts the chunk index into a byte offset before adding.
+func GoodAdd(addr uint64) uint64 {
+	base := meta.ChunkBase(addr)
+	c := chunkOf(addr)
+	return base + c*meta.ChunkSize
+}
+
+// GoodArg keeps ChunkBase in the byte-address domain.
+func GoodArg(addr uint64) uint64 {
+	return meta.ChunkBase(addr)
+}
+
+// GoodCmp compares block indexes against block indexes.
+func GoodCmp(addr uint64) bool {
+	return meta.BlockIndex(addr) < meta.BlockIndex(addr+meta.BlockSize)
+}
+
+// GoodAccum accumulates byte offsets into a byte total.
+func GoodAccum(addr uint64) uint64 {
+	total := meta.ChunkBase(addr)
+	total += meta.ChunkIndex(addr) * meta.ChunkSize
+	return total
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// UnitFlow is the module-wide unit-safety rule built on the dataflow
+// engine: it reports arithmetic and call sites where values from different
+// unit domains of the protection geometry meet — a chunk index added to a
+// byte address, a block index compared against a partition index, a byte
+// address passed where a seeded geometry helper expects a chunk index. The
+// local unit-mixing rule catches single-expression mistakes; this rule
+// follows the units across assignments, returns, and call chains.
+type UnitFlow struct{}
+
+// Name implements Analyzer.
+func (*UnitFlow) Name() string { return "unit-flow" }
+
+// Doc implements Analyzer.
+func (*UnitFlow) Doc() string {
+	return "cross-function unit mixing: byte addresses, block/partition/chunk indexes, beats (dataflow)"
+}
+
+// Check implements Analyzer; unit-flow only runs module-wide.
+func (*UnitFlow) Check(p *Package) []Finding { return nil }
+
+// CheckModule implements ModuleAnalyzer.
+func (*UnitFlow) CheckModule(pkgs []*Package) []Finding {
+	d := newDataflow(pkgs)
+	var out []Finding
+	for _, p := range pkgs {
+		// The meta package owns the raw unit relationships; inside it the
+		// conversions are the definitions, not mistakes.
+		if strings.HasSuffix(p.Path, "/internal/meta") {
+			continue
+		}
+		out = append(out, checkUnitFlow(d, p)...)
+	}
+	return out
+}
+
+// mixableOps are the operators whose operands must share a unit domain.
+var mixableOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.EQL: true, token.NEQ: true,
+	token.LSS: true, token.LEQ: true,
+	token.GTR: true, token.GEQ: true,
+}
+
+// checkUnitFlow inspects one package against the converged facts.
+func checkUnitFlow(d *dataflow, p *Package) []Finding {
+	var out []Finding
+	inspect(p, func(n ast.Node, stack []ast.Node) {
+		switch v := n.(type) {
+		case *ast.BinaryExpr:
+			if !mixableOps[v.Op] {
+				return
+			}
+			lf, rf := d.exprFact(p, v.X), d.exprFact(p, v.Y)
+			if lf.known() && rf.known() && lf != rf && !granExempt(lf, rf) {
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(v.OpPos),
+					Rule: "unit-flow",
+					Msg: "operands of '" + v.Op.String() + "' carry different units (" + lf.String() +
+						" vs " + rf.String() + "); convert with the internal/meta geometry helpers",
+				})
+			}
+		case *ast.AssignStmt:
+			if v.Tok != token.ADD_ASSIGN && v.Tok != token.SUB_ASSIGN || len(v.Lhs) != 1 || len(v.Rhs) != 1 {
+				return
+			}
+			lf := d.exprFact(p, v.Lhs[0])
+			rf := d.exprFact(p, v.Rhs[0])
+			if lf.known() && rf.known() && lf != rf && !granExempt(lf, rf) {
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(v.TokPos),
+					Rule: "unit-flow",
+					Msg: "'" + v.Tok.String() + "' mixes " + lf.String() + " with " + rf.String() +
+						"; convert with the internal/meta geometry helpers",
+				})
+			}
+		case *ast.CallExpr:
+			out = append(out, checkCallUnits(d, p, v)...)
+		}
+	})
+	return out
+}
+
+// granExempt exempts granularity-vs-count comparisons: a Gran is an enum
+// level as well as a size, and comparing it against block counts is how
+// WalkLen and Level are defined.
+func granExempt(a, b Fact) bool {
+	return a == FactGran || b == FactGran
+}
+
+// checkCallUnits compares argument facts against the seeded parameter facts
+// of the geometry helpers — the one place the expected unit is authoritative.
+func checkCallUnits(d *dataflow, p *Package, call *ast.CallExpr) []Finding {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	nParams := sig.Params().Len()
+	if sig.Variadic() {
+		nParams--
+	}
+	var out []Finding
+	for i, arg := range call.Args {
+		if i >= nParams {
+			break
+		}
+		param := sig.Params().At(i)
+		if !d.seeded[param] {
+			continue
+		}
+		want := d.facts[param]
+		got := d.exprFact(p, arg)
+		if want.known() && got.known() && got != want && !granExempt(got, want) {
+			out = append(out, Finding{
+				Pos:  p.Fset.Position(arg.Pos()),
+				Rule: "unit-flow",
+				Msg: "argument " + strconv.Itoa(i+1) + " of " + fn.Name() + " is a " + got.String() +
+					" but the signature expects a " + want.String(),
+			})
+		}
+	}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"unimem/internal/crypto"
 	"unimem/internal/meta"
@@ -46,31 +47,45 @@ func (m *Memory) Save(w io.Writer) (roots []uint64, err error) {
 	}
 	put(imageMagic, imageVersion, m.geom.RegionBytes, uint64(m.ctrBits))
 
+	// Every map section is emitted in sorted key order: the image bytes
+	// must be a pure function of the protected state, so two Saves of the
+	// same memory are byte-identical (attestation and artifact diffing
+	// depend on it; Go map iteration order would break it).
+	putMACs := func(macs map[uint64]crypto.MAC) {
+		put(uint64(len(macs)))
+		for _, addr := range sortedKeys(macs) {
+			mac := macs[addr]
+			put(addr)
+			if err == nil {
+				_, err = bw.Write(mac[:])
+			}
+		}
+	}
+
 	put(uint64(len(m.data)))
-	for addr, ct := range m.data {
+	for _, addr := range sortedKeys(m.data) {
+		ct := m.data[addr]
 		put(addr)
 		if err == nil {
 			_, err = bw.Write(ct[:])
 		}
 	}
 	put(uint64(len(m.counters)))
-	for k, v := range m.counters {
-		put(uint64(k.level), k.entry, v)
+	ctrKeys := make([]counterKey, 0, len(m.counters))
+	for k := range m.counters {
+		ctrKeys = append(ctrKeys, k)
 	}
-	put(uint64(len(m.macs)))
-	for addr, mac := range m.macs {
-		put(addr)
-		if err == nil {
-			_, err = bw.Write(mac[:])
+	sort.Slice(ctrKeys, func(i, j int) bool {
+		if ctrKeys[i].level != ctrKeys[j].level {
+			return ctrKeys[i].level < ctrKeys[j].level
 		}
+		return ctrKeys[i].entry < ctrKeys[j].entry
+	})
+	for _, k := range ctrKeys {
+		put(uint64(k.level), k.entry, m.counters[k])
 	}
-	put(uint64(len(m.nodeMACs)))
-	for addr, mac := range m.nodeMACs {
-		put(addr)
-		if err == nil {
-			_, err = bw.Write(mac[:])
-		}
-	}
+	putMACs(m.macs)
+	putMACs(m.nodeMACs)
 	// Granularity table: per non-default chunk, its current encoding.
 	type chunkSP struct {
 		chunk uint64
@@ -87,8 +102,8 @@ func (m *Memory) Save(w io.Writer) (roots []uint64, err error) {
 		put(c.chunk, uint64(c.sp))
 	}
 	put(uint64(len(m.majors)))
-	for c, v := range m.majors {
-		put(c, v)
+	for _, c := range sortedKeys(m.majors) {
+		put(c, m.majors[c])
 	}
 	if err != nil {
 		return nil, err
@@ -97,6 +112,17 @@ func (m *Memory) Save(w io.Writer) (roots []uint64, err error) {
 		return nil, err
 	}
 	return append([]uint64(nil), m.roots...), nil
+}
+
+// sortedKeys returns the keys of a uint64-keyed map in ascending order —
+// the deterministic iteration order Save emits every section in.
+func sortedKeys[V any](m map[uint64]V) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
 }
 
 // Load reconstructs a protected memory from an image and the trusted root

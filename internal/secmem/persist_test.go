@@ -42,6 +42,33 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSaveIsDeterministic: two Saves of the same memory must be
+// byte-identical — every map section is emitted in sorted key order, so
+// the image is a pure function of the protected state (attestation and
+// artifact diffing depend on it).
+func TestSaveIsDeterministic(t *testing.T) {
+	m := newMem()
+	for i := uint64(0); i < 24; i++ {
+		mustWrite(t, m, i*0x400, block(byte(i)))
+	}
+	if err := m.Promote(0, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	var first bytes.Buffer
+	if _, err := m.Save(&first); err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 4; run++ {
+		var buf bytes.Buffer
+		if _, err := m.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), buf.Bytes()) {
+			t.Fatalf("save %d produced different image bytes (%d vs %d)", run, first.Len(), buf.Len())
+		}
+	}
+}
+
 func TestLoadRejectsWrongKey(t *testing.T) {
 	m := newMem()
 	mustWrite(t, m, 0, block(1))
