@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint lint-baseline lint-suppressions lint-sarif build test test-race test-race-sweep test-invariants fuzz cover
+.PHONY: check fmt vet lint lint-baseline lint-suppressions lint-sarif build test test-race test-race-sweep test-invariants fuzz cover bench-smoke
 
 check: fmt vet lint lint-suppressions build test test-race-sweep
 
@@ -63,6 +63,14 @@ cover:
 	awk -v t="$$total" -v f="$$floor" 'BEGIN { \
 		if (t+0 <= f-2.0) { printf "coverage regressed >= 2 points below the floor (%.1f%% vs %.1f%%)\n", t, f; exit 1 } \
 		if (t+0 > f+2.0) { printf "note: coverage is %.1f%%; consider raising coverage-floor.txt\n", t } }'
+
+# Performance smoke gate: one iteration of the sweep scheduler benchmarks
+# plus the zero-allocation guard on the probe-off submit path (the guard
+# also runs in plain `test`, so `check` carries it). Catches "still
+# correct but now allocates / serializes" regressions without a full
+# benchmark session; CI runs this after `check`.
+bench-smoke:
+	$(GO) test -run TestSubmitSteadyStateZeroAlloc -bench 'BenchmarkSweepWorkers' -benchtime 1x -benchmem . ./internal/core/
 
 # Short fuzz pass over the three targets (seed corpus runs in plain `test`).
 fuzz:

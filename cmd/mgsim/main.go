@@ -56,7 +56,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stdout, "schemes:")
 		for _, s := range core.Schemes {
-			fmt.Fprintf(stdout, "  %s\n", s)
+			if s.IsExtension() {
+				fmt.Fprintf(stdout, "  %s (extension)\n", s)
+			} else {
+				fmt.Fprintf(stdout, "  %s\n", s)
+			}
 		}
 		return 0
 	}
@@ -88,6 +92,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	cfg := hetero.Config{Scale: *scale, Seed: *seed}
 	base := hetero.Run(sc, core.Unsecure, cfg)
+	if base.Err != nil {
+		fmt.Fprintln(stderr, base.Err)
+		return 1
+	}
 
 	// Probes attach to the measured scheme run only: the collector feeds
 	// -breakdown, the bounded ring trace feeds -events.
@@ -99,6 +107,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		runCfg.NewProbe = func(hetero.Scenario, core.Scheme) probe.Probe { return trace }
 	}
 	res := hetero.Run(sc, scheme, runCfg)
+	if res.Err != nil {
+		fmt.Fprintln(stderr, res.Err)
+		return 1
+	}
 	n := hetero.Normalize(res, base)
 
 	fmt.Fprintf(stdout, "scenario %s under %s (scale %.2f, seed %d)\n\n", sc.ID, scheme, *scale, *seed)

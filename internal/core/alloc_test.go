@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"unimem/internal/check"
+	"unimem/internal/meta"
+	"unimem/internal/sim"
+)
+
+// TestSubmitSteadyStateZeroAlloc pins the probe-off hot path at zero
+// allocations per request. The engine pools its per-request continuation
+// state (chunkOp/splitOp) and collects units, walk fetches, detections and
+// MAC lines into reusable scratch, so once caches, maps and the event heap
+// are warm, a steady-state Submit must not touch the heap. A regression
+// here means a closure, boxing or append crept back into the pipeline.
+func TestSubmitSteadyStateZeroAlloc(t *testing.T) {
+	if check.Enabled {
+		t.Skip("invariants build: armed assertions are allowed to allocate")
+	}
+	r := newRig(Ours, Options{})
+	var sink sim.Time
+	done := func(at sim.Time) { sink = at }
+	batch := func() {
+		for c := uint64(0); c < 8; c++ {
+			base := c * meta.ChunkSize
+			// Bulk stream over the chunk, then fine probes into it: drives
+			// detection, lazy switching, tree walks and the MAC paths.
+			r.en.Submit(Request{Device: 1, Addr: base, Size: meta.ChunkSize}, done)
+			r.en.Submit(Request{Device: 1, Addr: base, Size: meta.ChunkSize, Write: true}, done)
+			r.en.Submit(Request{Device: 0, Addr: base + 320, Size: 64}, done)
+			r.en.Submit(Request{Device: 0, Addr: base + 128, Size: 64, Write: true}, done)
+			// Chunk-crossing request exercises the splitOp pool.
+			if c > 0 {
+				r.en.Submit(Request{Device: 1, Addr: base - 64, Size: 128}, done)
+			}
+		}
+		r.se.RunAll()
+	}
+	// Warm every amortized structure: security caches, per-chunk maps,
+	// tracker windows, op pools, scratch slices and event-heap capacity.
+	for i := 0; i < 4; i++ {
+		batch()
+	}
+	if avg := testing.AllocsPerRun(50, batch); avg != 0 {
+		t.Fatalf("steady-state Submit allocates %.2f times per batch, want 0", avg)
+	}
+	_ = sink
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"unimem/internal/cache"
-	"unimem/internal/check"
 	"unimem/internal/mem"
 	"unimem/internal/meta"
 	"unimem/internal/probe"
@@ -136,7 +135,8 @@ type Engine struct {
 	mm     *mem.Memory
 	geom   *meta.Geometry
 	scheme Scheme
-	pol    policy
+	pol    Policy
+	spec   Spec // cached pol.Spec(): hot-path trait flags
 	opts   Options
 
 	table     *meta.Table
@@ -149,12 +149,20 @@ type Engine struct {
 
 	prb probe.Probe // nil = observability off (the hot-path default)
 
-	shared       map[uint64]bool // CommonCTR shared-counter chunks
 	lastWrite    map[uint64]bool // last access type per chunk
 	writtenParts map[uint64]uint64
 	demoteVotes  map[uint64]meta.StreamPart // demotion hysteresis per chunk
 
 	cryptoPs sim.Time
+
+	// Free lists and scratch buffers keep the probe-off steady state
+	// allocation-free (the simulation is single-threaded, so plain linked
+	// lists and [:0] reuse suffice; see TestSubmitSteadyStateZeroAlloc).
+	freeOps    *chunkOp
+	freeSplits *splitOp
+	ctrUnits   []unitSpan
+	macUnits   []unitSpan
+	macLines   []uint64
 
 	perDev []DeviceStats
 	lat    LatencyHistogram
@@ -165,16 +173,19 @@ type Engine struct {
 
 // New builds an engine for one scheme over a protected region of
 // regionBytes, sharing the simulation engine and memory system with the
-// device models.
+// device models. The scheme's behaviour comes entirely from its registered
+// Policy; New wires the scheme-independent machinery around it.
 func New(se *sim.Engine, mm *mem.Memory, regionBytes uint64, scheme Scheme, opts Options) *Engine {
 	opts.fill()
-	pol := policyFor(scheme)
+	pol := policyFor(scheme, &opts)
+	spec := pol.Spec()
 	e := &Engine{
 		se:           se,
 		mm:           mm,
 		geom:         meta.NewGeometry(regionBytes),
 		scheme:       scheme,
 		pol:          pol,
+		spec:         spec,
 		opts:         opts,
 		prb:          opts.Probe,
 		lastWrite:    map[uint64]bool{},
@@ -183,33 +194,22 @@ func New(se *sim.Engine, mm *mem.Memory, regionBytes uint64, scheme Scheme, opts
 		cryptoPs:     opts.OTPPs + opts.XORPs,
 		perDev:       make([]DeviceStats, opts.Devices),
 	}
-	if !pol.protect {
+	if !spec.Protect {
 		return e
 	}
 	e.metaCache = cache.New(cache.Config{SizeBytes: opts.MetaCacheBytes, LineBytes: 64, Ways: 8})
 	e.macCache = cache.New(cache.Config{SizeBytes: opts.MACCacheBytes, LineBytes: 64, Ways: 8})
-	treeCfg := tree.Config{}
-	if pol.subtree {
-		treeCfg = tree.DefaultSubtree()
-	}
-	e.walker = tree.New(e.geom, e.metaCache, treeCfg)
-	if pol.useTable {
+	e.walker = tree.New(e.geom, e.metaCache, pol.TreeConfig())
+	if spec.UseTable {
 		e.gtCache = cache.New(cache.Config{SizeBytes: opts.GTCacheBytes, LineBytes: 64, Ways: 8})
-		if pol.oracle {
-			if opts.FixedTable == nil {
-				e.table = meta.NewTable()
-			} else {
-				e.table = opts.FixedTable
-			}
+		if spec.Oracle && opts.FixedTable != nil {
+			e.table = opts.FixedTable
 		} else {
 			e.table = meta.NewTable()
 		}
 	}
-	if pol.detect {
+	if spec.Detect {
 		e.trk = tracker.New(opts.Tracker)
-	}
-	if pol.commonCTR {
-		e.shared = map[uint64]bool{}
 	}
 	e.openUnits = cache.New(cache.Config{
 		SizeBytes: opts.OpenUnits * 64,
@@ -278,38 +278,8 @@ func (e *Engine) Finish() {
 	}
 }
 
-// unit is one protection unit covering part of a request.
+// unitSpan is one protection unit covering part of a request.
 type unitSpan struct {
 	base uint64
 	gran meta.Gran
-}
-
-// forEachUnit visits the protection units covering [addr, addr+size) under
-// a stream-part encoding, capping unit granularity at cap.
-func forEachUnit(sp meta.StreamPart, chunkBase, addr uint64, size int, cap meta.Gran, fn func(unitSpan)) {
-	end := addr + uint64(size)
-	for addr < end {
-		u := sp.UnitOf(int((addr - chunkBase) / meta.BlockSize))
-		g := u.Gran
-		base := chunkBase + uint64(u.Block)*meta.BlockSize
-		if g > cap {
-			g = cap
-			base = meta.AlignGran(addr, g)
-		}
-		if check.Enabled {
-			check.Assertf(meta.Aligned(base, g.Bytes()),
-				"unit base %#x not aligned to its %v granularity", base, g)
-			check.Assertf(base+g.Bytes() > addr, "unit at %#x makes no progress past %#x", base, addr)
-		}
-		fn(unitSpan{base: base, gran: g})
-		addr = base + g.Bytes()
-	}
-}
-
-// forEachFixed visits fixed-granularity units covering the span.
-func forEachFixed(g meta.Gran, addr uint64, size int, fn func(unitSpan)) {
-	end := addr + uint64(size)
-	for a := meta.AlignGran(addr, g); a < end; a += g.Bytes() {
-		fn(unitSpan{base: a, gran: g})
-	}
 }

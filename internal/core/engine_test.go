@@ -261,8 +261,9 @@ func TestCommonCTRSharedLimit(t *testing.T) {
 	for c := uint64(0); c < 4; c++ {
 		r.do(Request{Addr: c * meta.ChunkSize, Size: meta.ChunkSize})
 	}
-	if len(r.en.shared) != 2 {
-		t.Fatalf("shared chunks = %d, want 2", len(r.en.shared))
+	shared := r.en.pol.(*commonCTRPolicy).shared
+	if len(shared) != 2 {
+		t.Fatalf("shared chunks = %d, want 2", len(shared))
 	}
 	// Shared chunks skip counter traffic on re-access.
 	ctr := r.mm.Stats.Reads[mem.Counter]

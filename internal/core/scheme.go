@@ -4,17 +4,17 @@
 // fetch, counter-tree walk, MAC fetch, and crypto latency; dirty-eviction
 // writes update the tree to the root (Fig. 14); lazy granularity switching
 // charges the Table 2 costs. The scheme matrix of Table 5 (plus the
-// ablations of Fig. 6 and Fig. 20) is expressed as a policy over the same
-// pipeline.
+// ablations of Fig. 6 and Fig. 20) is expressed as pluggable Policy objects
+// over the same scheme-agnostic pipeline; see registry.go for the table
+// that binds a Scheme to its Policy and name.
 package core
-
-import "unimem/internal/meta"
 
 // Scheme selects one simulated protection scheme (paper Table 5).
 type Scheme int
 
 // Simulation schemes. The first group reproduces Table 5; the second the
-// ablations used by Fig. 6 and Fig. 20.
+// ablations used by Fig. 6 and Fig. 20; the last group are extensions
+// beyond the paper, expressed as pure policies (IsExtension reports which).
 const (
 	// Unsecure disables memory protection entirely.
 	Unsecure Scheme = iota
@@ -55,100 +55,26 @@ const (
 	// tree — the intermediate bar of the Fig. 5 overhead breakdown
 	// (+Cost(MAC) without +Cost(counter)).
 	MACOnly
+	// MGXVersioned is an extension modeling MGX-style application-managed
+	// version counters (Hua et al.): accelerator-private regions derive
+	// versions from the application's own dataflow, so their accesses skip
+	// the integrity-tree walk entirely and pay only the 64B MAC; the CPU's
+	// general-purpose region keeps the conventional counter tree.
+	MGXVersioned
 	nSchemes
 )
 
-// Schemes lists every scheme.
-var Schemes = []Scheme{
-	Unsecure, Conventional, StaticDeviceBest, MultiCTROnly, Ours,
-	Adaptive, CommonCTR, BMFUnused, BMFUnusedOurs,
-	OursDual, OursNoSwitch, BMFUnusedOursNoSwitch, PerPartitionOracle,
-	MACOnly,
-}
-
-// String returns the Table 5 name.
+// String returns the scheme's registered display name (Table 5 names for
+// paper schemes).
 func (s Scheme) String() string {
-	switch s {
-	case Unsecure:
-		return "Unsecure"
-	case Conventional:
-		return "Conventional"
-	case StaticDeviceBest:
-		return "Static-device-best"
-	case MultiCTROnly:
-		return "Multi(CTR)-only"
-	case Ours:
-		return "Ours"
-	case Adaptive:
-		return "Adaptive"
-	case CommonCTR:
-		return "CommonCTR"
-	case BMFUnused:
-		return "BMF&Unused"
-	case BMFUnusedOurs:
-		return "BMF&Unused+Ours"
-	case OursDual:
-		return "Ours(dual)"
-	case OursNoSwitch:
-		return "Ours w/o Switch.Overhead"
-	case BMFUnusedOursNoSwitch:
-		return "BMF&Unused+Ours w/o Switch.Overhead"
-	case PerPartitionOracle:
-		return "Per-partition-best"
-	case MACOnly:
-		return "MAC-only"
+	if s < 0 || s >= nSchemes {
+		return "unknown"
 	}
-	return "unknown"
+	return registry[s].name
 }
 
-// policy is the behavioural decomposition of a scheme.
-type policy struct {
-	protect     bool // counters+MACs exist at all
-	useTable    bool // granularity table consulted
-	detect      bool // access tracker feeds the table
-	multiCTR    bool // counters follow the table's granularity
-	multiMAC    bool // MACs follow the table's granularity
-	dualOnly    bool // detections restricted to {64B, 32KB}
-	macGranCap  meta.Gran
-	noCTR       bool // MACs only, no counters/tree (Fig. 5 breakdown)
-	subtree     bool // BMF root caching + PENGLAI unused pruning
-	freeSwitch  bool // granularity switches charge nothing (perfect pred.)
-	commonCTR   bool // limited treeless shared counters instead of tree opt
-	static      bool // per-device static granularity
-	doubleStore bool // Adaptive stores coarse and fine MACs
-	oracle      bool // table preloaded, detection off
-}
-
-func policyFor(s Scheme) policy {
-	switch s {
-	case Unsecure:
-		return policy{}
-	case Conventional:
-		return policy{protect: true, macGranCap: meta.Gran32K}
-	case StaticDeviceBest:
-		return policy{protect: true, static: true, macGranCap: meta.Gran32K}
-	case MultiCTROnly:
-		return policy{protect: true, useTable: true, detect: true, multiCTR: true, macGranCap: meta.Gran32K}
-	case Ours:
-		return policy{protect: true, useTable: true, detect: true, multiCTR: true, multiMAC: true, macGranCap: meta.Gran32K}
-	case Adaptive:
-		return policy{protect: true, useTable: true, detect: true, multiMAC: true, macGranCap: meta.Gran4K, doubleStore: true}
-	case CommonCTR:
-		return policy{protect: true, useTable: true, detect: true, dualOnly: true, commonCTR: true, macGranCap: meta.Gran32K}
-	case BMFUnused:
-		return policy{protect: true, subtree: true, macGranCap: meta.Gran32K}
-	case BMFUnusedOurs:
-		return policy{protect: true, useTable: true, detect: true, multiCTR: true, multiMAC: true, subtree: true, macGranCap: meta.Gran32K}
-	case OursDual:
-		return policy{protect: true, useTable: true, detect: true, multiCTR: true, multiMAC: true, dualOnly: true, macGranCap: meta.Gran32K}
-	case OursNoSwitch:
-		return policy{protect: true, useTable: true, detect: true, multiCTR: true, multiMAC: true, freeSwitch: true, macGranCap: meta.Gran32K}
-	case BMFUnusedOursNoSwitch:
-		return policy{protect: true, useTable: true, detect: true, multiCTR: true, multiMAC: true, subtree: true, freeSwitch: true, macGranCap: meta.Gran32K}
-	case PerPartitionOracle:
-		return policy{protect: true, useTable: true, multiCTR: true, multiMAC: true, freeSwitch: true, oracle: true, macGranCap: meta.Gran32K}
-	case MACOnly:
-		return policy{protect: true, noCTR: true, macGranCap: meta.Gran32K}
-	}
-	panic("core: unknown scheme")
+// IsExtension reports whether s models a design beyond the source paper's
+// Table 5 / ablation matrix (a registry extension such as MGXVersioned).
+func (s Scheme) IsExtension() bool {
+	return s >= 0 && s < nSchemes && !registry[s].paper
 }

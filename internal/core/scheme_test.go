@@ -8,35 +8,85 @@ import (
 	"unimem/internal/sim"
 )
 
-// TestPolicyMatrix pins the behavioural decomposition of every scheme:
-// changing a policy flag must be a deliberate act.
-func TestPolicyMatrix(t *testing.T) {
+// TestRegistryDriftGuard keeps the scheme constants and the registry in
+// lock-step: every Scheme constant below nSchemes must have a registry row
+// with a unique non-empty name and a working builder, Schemes must
+// enumerate exactly the registered constants, and String must agree with
+// the row. A missing row is a test failure here, not a runtime panic.
+func TestRegistryDriftGuard(t *testing.T) {
+	if len(Schemes) != int(nSchemes) {
+		t.Fatalf("Schemes lists %d schemes, constants declare %d", len(Schemes), int(nSchemes))
+	}
+	seen := map[string]Scheme{}
+	for i, s := range Schemes {
+		if s != Scheme(i) {
+			t.Errorf("Schemes[%d] = %v, want constant order", i, s)
+		}
+		ent := registry[s]
+		if ent.name == "" {
+			t.Errorf("scheme constant %d has no registry name", int(s))
+			continue
+		}
+		if ent.build == nil {
+			t.Errorf("%s has no registry builder", ent.name)
+			continue
+		}
+		if got := s.String(); got != ent.name {
+			t.Errorf("Scheme(%d).String() = %q, registry says %q", int(s), got, ent.name)
+		}
+		if prev, dup := seen[ent.name]; dup {
+			t.Errorf("name %q registered for both %v and %v", ent.name, prev, s)
+		}
+		seen[ent.name] = s
+		pol := policyFor(s, &Options{})
+		if pol == nil {
+			t.Errorf("%s builder returned nil policy", ent.name)
+		}
+	}
+	if Scheme(-1).String() != "unknown" || nSchemes.String() != "unknown" {
+		t.Error("out-of-range Scheme.String() should be \"unknown\"")
+	}
+	if Scheme(-1).IsExtension() || nSchemes.IsExtension() {
+		t.Error("out-of-range schemes must not report as extensions")
+	}
+	if !MGXVersioned.IsExtension() {
+		t.Error("MGXVersioned should be flagged as an extension")
+	}
+	if Ours.IsExtension() || Conventional.IsExtension() {
+		t.Error("paper schemes must not be flagged as extensions")
+	}
+}
+
+// TestSpecMatrix pins the trait sheet of every scheme: changing a Spec
+// flag must be a deliberate act.
+func TestSpecMatrix(t *testing.T) {
 	cases := []struct {
 		s    Scheme
-		want policy
+		want Spec
 	}{
-		{Unsecure, policy{}},
-		{Conventional, policy{protect: true, macGranCap: meta.Gran32K}},
-		{StaticDeviceBest, policy{protect: true, static: true, macGranCap: meta.Gran32K}},
-		{MultiCTROnly, policy{protect: true, useTable: true, detect: true, multiCTR: true, macGranCap: meta.Gran32K}},
-		{Ours, policy{protect: true, useTable: true, detect: true, multiCTR: true, multiMAC: true, macGranCap: meta.Gran32K}},
-		{Adaptive, policy{protect: true, useTable: true, detect: true, multiMAC: true, macGranCap: meta.Gran4K, doubleStore: true}},
-		{CommonCTR, policy{protect: true, useTable: true, detect: true, dualOnly: true, commonCTR: true, macGranCap: meta.Gran32K}},
-		{BMFUnused, policy{protect: true, subtree: true, macGranCap: meta.Gran32K}},
-		{BMFUnusedOurs, policy{protect: true, useTable: true, detect: true, multiCTR: true, multiMAC: true, subtree: true, macGranCap: meta.Gran32K}},
-		{OursDual, policy{protect: true, useTable: true, detect: true, multiCTR: true, multiMAC: true, dualOnly: true, macGranCap: meta.Gran32K}},
-		{OursNoSwitch, policy{protect: true, useTable: true, detect: true, multiCTR: true, multiMAC: true, freeSwitch: true, macGranCap: meta.Gran32K}},
-		{BMFUnusedOursNoSwitch, policy{protect: true, useTable: true, detect: true, multiCTR: true, multiMAC: true, subtree: true, freeSwitch: true, macGranCap: meta.Gran32K}},
-		{PerPartitionOracle, policy{protect: true, useTable: true, multiCTR: true, multiMAC: true, freeSwitch: true, oracle: true, macGranCap: meta.Gran32K}},
-		{MACOnly, policy{protect: true, noCTR: true, macGranCap: meta.Gran32K}},
+		{Unsecure, Spec{}},
+		{Conventional, Spec{Protect: true}},
+		{StaticDeviceBest, Spec{Protect: true}},
+		{MultiCTROnly, Spec{Protect: true, UseTable: true, Detect: true, MultiCTR: true}},
+		{Ours, Spec{Protect: true, UseTable: true, Detect: true, MultiCTR: true, MultiMAC: true}},
+		{Adaptive, Spec{Protect: true, UseTable: true, Detect: true, MultiMAC: true, DoubleStore: true}},
+		{CommonCTR, Spec{Protect: true, UseTable: true, Detect: true, DualOnly: true}},
+		{BMFUnused, Spec{Protect: true}},
+		{BMFUnusedOurs, Spec{Protect: true, UseTable: true, Detect: true, MultiCTR: true, MultiMAC: true}},
+		{OursDual, Spec{Protect: true, UseTable: true, Detect: true, MultiCTR: true, MultiMAC: true, DualOnly: true}},
+		{OursNoSwitch, Spec{Protect: true, UseTable: true, Detect: true, MultiCTR: true, MultiMAC: true, FreeSwitch: true}},
+		{BMFUnusedOursNoSwitch, Spec{Protect: true, UseTable: true, Detect: true, MultiCTR: true, MultiMAC: true, FreeSwitch: true}},
+		{PerPartitionOracle, Spec{Protect: true, UseTable: true, MultiCTR: true, MultiMAC: true, FreeSwitch: true, Oracle: true}},
+		{MACOnly, Spec{Protect: true}},
+		{MGXVersioned, Spec{Protect: true}},
 	}
 	for _, c := range cases {
-		if got := policyFor(c.s); got != c.want {
-			t.Errorf("%v policy = %+v, want %+v", c.s, got, c.want)
+		if got := policyFor(c.s, &Options{}).Spec(); got != c.want {
+			t.Errorf("%v spec = %+v, want %+v", c.s, got, c.want)
 		}
 	}
 	if len(cases) != len(Schemes) {
-		t.Fatalf("policy matrix covers %d schemes, registry has %d", len(cases), len(Schemes))
+		t.Fatalf("spec matrix covers %d schemes, registry has %d", len(cases), len(Schemes))
 	}
 }
 
@@ -46,7 +96,7 @@ func TestUnknownSchemePanics(t *testing.T) {
 			t.Fatal("policyFor(nSchemes) did not panic")
 		}
 	}()
-	policyFor(nSchemes)
+	policyFor(nSchemes, &Options{})
 }
 
 // TestEverySchemeServesBulkAndFine drives every scheme through a mixed

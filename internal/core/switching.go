@@ -8,10 +8,10 @@ import (
 	"unimem/internal/tracker"
 )
 
-// applyDetection routes an access-tracker detection into the scheme's
-// granularity state: the granularity table for the Ours family (restricted
-// to {64B,32KB} for dual-granularity schemes), or the limited shared-counter
-// set for CommonCTR.
+// applyDetection merges an access-tracker detection with the chunk's
+// history (hysteresis) and routes the result: the policy may consume it
+// (CommonCTR's shared-counter set), otherwise it lands in the granularity
+// table as "next" and commits lazily.
 func (e *Engine) applyDetection(det tracker.Detection) {
 	e.Stats.Detections++
 	sp := det.Stream
@@ -37,17 +37,10 @@ func (e *Engine) applyDetection(det tracker.Detection) {
 		e.demoteVotes[det.Chunk] = (votes | demote) &^ (promote | confirmed)
 		sp = (prev | promote) &^ confirmed
 	}
-	if e.pol.dualOnly && sp != meta.AllStream {
+	if e.spec.DualOnly && sp != meta.AllStream {
 		sp = 0
 	}
-	if e.pol.commonCTR {
-		if sp == meta.AllStream {
-			if e.shared[det.Chunk] || len(e.shared) < e.opts.CommonCTRLimit {
-				e.shared[det.Chunk] = true
-			}
-		} else {
-			delete(e.shared, det.Chunk)
-		}
+	if e.pol.OnDetection(det.Chunk, sp) {
 		return
 	}
 	if e.table == nil {
@@ -90,7 +83,7 @@ func refuteMask(prev, touched meta.StreamPart) meta.StreamPart {
 // handleSwitches applies pending lazy granularity switches for the units a
 // request touches and charges the Table 2 costs. Requests that needed no
 // switch count as correct predictions.
-func (e *Engine) handleSwitches(r Request, chunk, chunkBase uint64, complete *join) {
+func (e *Engine) handleSwitches(r Request, chunk, chunkBase uint64, op *chunkOp) {
 	firstPart := meta.PartIndex(r.Addr)
 	lastPart := meta.PartIndex(r.Addr + uint64(r.Size) - 1)
 	classified := false
@@ -105,8 +98,8 @@ func (e *Engine) handleSwitches(r Request, chunk, chunkBase uint64, complete *jo
 			continue
 		}
 		switched = true
-		if !e.pol.freeSwitch {
-			e.chargeSwitch(r, chunk, chunkBase, b, from, to, complete, &classified)
+		if !e.spec.FreeSwitch {
+			e.chargeSwitch(r, chunk, chunkBase, b, from, to, op, &classified)
 		}
 		// The unit's metadata moved: stale cached lines for the old layout
 		// are dropped (models the address-computation change of Eq. 1-4).
@@ -118,7 +111,7 @@ func (e *Engine) handleSwitches(r Request, chunk, chunkBase uint64, complete *jo
 }
 
 // chargeSwitch implements the Table 2 cost matrix for one switched unit.
-func (e *Engine) chargeSwitch(r Request, chunk, chunkBase uint64, b int, from, to meta.Gran, complete *join, classified *bool) {
+func (e *Engine) chargeSwitch(r Request, chunk, chunkBase uint64, b int, from, to meta.Gran, op *chunkOp, classified *bool) {
 	if check.Enabled {
 		check.Assertf(from != to, "chargeSwitch for a non-switch at chunk %d block %d", chunk, b)
 		check.Assertf(b >= 0 && b < meta.BlocksPerChunk, "switch block %d outside chunk", b)
@@ -129,7 +122,7 @@ func (e *Engine) chargeSwitch(r Request, chunk, chunkBase uint64, b int, from, t
 	blockIdx := meta.BlockIndex(chunkBase + uint64(b)*meta.BlockSize)
 
 	// Counter / integrity-tree side.
-	if e.pol.multiCTR {
+	if e.spec.MultiCTR {
 		if to < from {
 			// Scale-down: zero additional fetches — the retained counter
 			// value means following accesses fetch what they need anyway.
@@ -165,7 +158,7 @@ func (e *Engine) chargeSwitch(r Request, chunk, chunkBase uint64, b int, from, t
 				}
 				walk := e.walker.Write(blockIdx, to.Level())
 				for _, a := range walk.Fetches {
-					e.memRead(r.Device, a, 64, mem.Switch, complete.Add())
+					e.memRead(r.Device, a, 64, mem.Switch, op.slot())
 				}
 				for i := 0; i < walk.Writebacks; i++ {
 					e.memWrite(r.Device, a64Base(e, blockIdx), 64, mem.Counter, nil)
@@ -175,7 +168,7 @@ func (e *Engine) chargeSwitch(r Request, chunk, chunkBase uint64, b int, from, t
 	}
 
 	// MAC side.
-	if e.pol.multiMAC {
+	if e.spec.MultiMAC {
 		if to < from {
 			unitMask := partMask(chunkBase, chunkBase+uint64(b&^(from.Blocks()-1))*meta.BlockSize, int(from.Bytes()))
 			readOnly := e.writtenParts[chunk]&unitMask == 0
@@ -187,7 +180,7 @@ func (e *Engine) chargeSwitch(r Request, chunk, chunkBase uint64, b int, from, t
 					e.probeSwitch(r, probe.SwMACDownRO)
 				}
 				for _, lineAddr := range e.fineMACLines(chunk, b, from) {
-					e.memRead(r.Device, lineAddr, 64, mem.MAC, complete.Add())
+					e.memRead(r.Device, lineAddr, 64, mem.MAC, op.slot())
 				}
 			} else {
 				// Written data: the whole unit must be fetched to recompute
@@ -197,7 +190,7 @@ func (e *Engine) chargeSwitch(r Request, chunk, chunkBase uint64, b int, from, t
 					e.probeSwitch(r, probe.SwMACDownRW)
 				}
 				base := chunkBase + uint64(b&^(from.Blocks()-1))*meta.BlockSize
-				e.memRead(r.Device, base, int(from.Bytes()), mem.Switch, complete.Add())
+				e.memRead(r.Device, base, int(from.Bytes()), mem.Switch, op.slot())
 			}
 		} else {
 			if !*classified {
@@ -215,16 +208,18 @@ func (e *Engine) chargeSwitch(r Request, chunk, chunkBase uint64, b int, from, t
 // unit base, not at b: a lazy switch can be triggered from any partition of
 // the unit, and anchoring at b would fetch lines past the unit (an earlier
 // version wrapped them modulo the chunk, fetching another unit's MACs).
+// The returned slice is engine-owned scratch, valid until the next call.
 func (e *Engine) fineMACLines(chunk uint64, b int, from meta.Gran) []uint64 {
 	base := b &^ (from.Blocks() - 1)
 	lines := from.Blocks() / meta.MACsPerLine
 	if lines < 1 {
 		lines = 1
 	}
-	out := make([]uint64, 0, lines)
+	out := e.macLines[:0]
 	for i := 0; i < lines; i++ {
 		out = append(out, e.geom.MACLineAddr(chunk, base+i*meta.MACsPerLine))
 	}
+	e.macLines = out
 	return out
 }
 

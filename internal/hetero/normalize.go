@@ -14,8 +14,9 @@ import (
 type Normalized struct {
 	Scenario Scenario
 	Scheme   core.Scheme
-	// PerDevice is finish(scheme)/finish(unsecure) per device.
-	PerDevice [4]float64
+	// PerDevice is finish(scheme)/finish(unsecure) per device,
+	// index-aligned with the scenario's device list.
+	PerDevice []float64
 	// Mean is the average of PerDevice — the "normalized execution time".
 	Mean float64
 	// TrafficRatio is total traffic relative to the unsecured run.
@@ -31,9 +32,13 @@ type Normalized struct {
 // aggregates.
 func Normalize(res, unsecure RunResult) Normalized {
 	n := Normalized{Scenario: res.Scenario, Scheme: res.Scheme, Raw: res}
+	n.PerDevice = make([]float64, len(res.Devices))
 	var xs []float64
 	for i := range res.Devices {
-		den := float64(unsecure.Devices[i].FinishPs)
+		var den float64
+		if i < len(unsecure.Devices) {
+			den = float64(unsecure.Devices[i].FinishPs)
+		}
 		if den <= 0 {
 			n.PerDevice[i] = 1
 			continue

@@ -15,6 +15,8 @@ import (
 // baseline, and the old ratio divided by it unguarded.
 func TestNormalizeZeroBaselineDevice(t *testing.T) {
 	var base, res RunResult
+	base.Devices = make([]DeviceResult, 4)
+	res.Devices = make([]DeviceResult, 4)
 	for i := 0; i < 3; i++ {
 		base.Devices[i].FinishPs = 1000
 		res.Devices[i].FinishPs = 1500

@@ -137,13 +137,20 @@ func SweepParallel(ctx context.Context, scs []Scenario, schemes []core.Scheme, c
 		}()
 		if j.scheme < 0 {
 			base := Run(scs[j.sc], core.Unsecure, cfg)
+			if base.Err != nil {
+				return base.Err
+			}
 			results[j.sc].Scenario = scs[j.sc]
 			results[j.sc].Unsecure = base
 			for si := range list {
 				jobs <- job{sc: j.sc, scheme: si}
 			}
 		} else {
-			runs[j.sc][j.scheme] = Normalize(Run(scs[j.sc], list[j.scheme], cfg), results[j.sc].Unsecure)
+			res := Run(scs[j.sc], list[j.scheme], cfg)
+			if res.Err != nil {
+				return res.Err
+			}
+			runs[j.sc][j.scheme] = Normalize(res, results[j.sc].Unsecure)
 		}
 		return nil
 	}

@@ -39,6 +39,11 @@ type Config struct {
 	// probes). It is called from the goroutine that executes the run;
 	// implementations handing out shared state must synchronize.
 	NewProbe func(sc Scenario, scheme core.Scheme) probe.Probe
+	// truncatePs, when positive, stops the measured run's event loop at
+	// that simulated time instead of draining it — a test hook for
+	// exercising the truncated-trace error path without hand-crafting a
+	// hanging device model. Warmup passes always drain fully.
+	truncatePs sim.Time
 }
 
 func (c Config) filled() Config {
@@ -70,7 +75,9 @@ type DeviceResult struct {
 type RunResult struct {
 	Scenario Scenario
 	Scheme   core.Scheme
-	Devices  [4]DeviceResult
+	// Devices holds one entry per scenario device (scenario-shaped, not a
+	// fixed width).
+	Devices []DeviceResult
 	// TotalBytes / DataBytes / MetaBytes are memory traffic.
 	TotalBytes uint64
 	DataBytes  uint64
@@ -82,10 +89,16 @@ type RunResult struct {
 	Detections     uint64
 	// Latency is the engine-wide read-latency histogram.
 	Latency core.LatencyHistogram
-	// EngineDev is the per-device engine accounting.
-	EngineDev [4]core.DeviceStats
+	// EngineDev is the per-device engine accounting, index-aligned with
+	// Devices.
+	EngineDev []core.DeviceStats
 	// Probe is the run's reduced event stream (nil unless Config.Collect).
 	Probe *probe.Summary
+	// Err reports a run that could not complete — e.g. a device whose
+	// trace never drained (a truncated or deadlocked event loop). The
+	// remaining fields hold whatever progress was made; callers must treat
+	// them as partial when Err is non-nil.
+	Err error
 }
 
 // MaxFinish returns the scenario's wall-clock end.
@@ -107,11 +120,15 @@ type device interface {
 	Name() string
 }
 
-// Run simulates one scenario under one scheme.
+// Run simulates one scenario under one scheme. A device that fails to
+// drain its trace (a truncated or deadlocked event loop) is reported
+// through RunResult.Err rather than a panic; the result still carries the
+// partial accounting.
 func Run(sc Scenario, scheme core.Scheme, cfg Config) RunResult {
 	cfg = cfg.filled()
+	specs := sc.Devices()
 	opts := cfg.Engine
-	opts.Devices = 4
+	opts.Devices = len(specs)
 	switch scheme {
 	case core.StaticDeviceBest:
 		if opts.StaticGran == nil {
@@ -123,32 +140,41 @@ func Run(sc Scenario, scheme core.Scheme, cfg Config) RunResult {
 		}
 	}
 
-	col, prb := cfg.buildProbe(sc, scheme)
+	col, prb := cfg.buildProbe(sc, scheme, len(specs))
 	opts.Probe = probe.Multi(opts.Probe, prb)
 
 	eng := sim.NewEngine()
 	mm := mem.New(eng, *cfg.Mem)
 	en := core.New(eng, mm, cfg.RegionBytes, scheme, opts)
 
-	devs, classes, issued := buildDevices(eng, en, sc, cfg)
+	devs, issued := buildDevices(eng, en, sc, cfg)
 	for _, d := range devs {
 		d.Start()
 	}
-	eng.RunAll()
+	if cfg.truncatePs > 0 {
+		eng.Run(cfg.truncatePs)
+	} else {
+		eng.RunAll()
+	}
 	en.Finish()
 
-	res := RunResult{Scenario: sc, Scheme: scheme}
+	res := RunResult{
+		Scenario:  sc,
+		Scheme:    scheme,
+		Devices:   make([]DeviceResult, len(devs)),
+		EngineDev: make([]core.DeviceStats, len(devs)),
+	}
 	if col != nil {
 		s := col.Summary
 		res.Probe = &s
 	}
 	for i, d := range devs {
-		if !d.Done() {
-			panic(fmt.Sprintf("hetero: device %s never drained (%s, %v)", d.Name(), sc.ID, scheme))
+		if !d.Done() && res.Err == nil {
+			res.Err = fmt.Errorf("hetero: device %s never drained (%s, %v)", d.Name(), sc.ID, scheme)
 		}
 		res.Devices[i] = DeviceResult{
 			Name:     d.Name(),
-			Class:    classes[i],
+			Class:    specs[i].Class,
 			FinishPs: d.FinishTime(),
 			Issued:   issued[i](),
 		}
@@ -167,34 +193,33 @@ func Run(sc Scenario, scheme core.Scheme, cfg Config) RunResult {
 	return res
 }
 
-// buildDevices instantiates the 1 CPU + 1 GPU + 2 NPU mix.
-func buildDevices(eng *sim.Engine, en *core.Engine, sc Scenario, cfg Config) ([4]device, [4]workload.Class, [4]func() uint64) {
-	var devs [4]device
-	var classes [4]workload.Class
-	var issued [4]func() uint64
-	names := sc.Workloads()
-	for i, name := range names {
-		gen, err := workload.ByName(name, cfg.Scale, cfg.Seed+uint64(i)*7919)
+// buildDevices instantiates the scenario's device mix from its specs.
+func buildDevices(eng *sim.Engine, en *core.Engine, sc Scenario, cfg Config) ([]device, []func() uint64) {
+	specs := sc.Devices()
+	devs := make([]device, len(specs))
+	issued := make([]func() uint64, len(specs))
+	for i, spec := range specs {
+		gen, err := workload.ByName(spec.Workload, cfg.Scale, cfg.Seed+uint64(i)*7919)
 		if err != nil {
 			panic(err)
 		}
 		base := uint64(i) * deviceStride
-		switch i {
-		case 0:
+		switch spec.Class {
+		case workload.CPU:
 			c := cpu.New(eng, en, gen, i, base)
-			devs[i], classes[i] = c, workload.CPU
+			devs[i] = c
 			issued[i] = func() uint64 { return c.Stats.Issued }
-		case 1:
+		case workload.GPU:
 			g := gpu.New(eng, en, gen, i, base)
-			devs[i], classes[i] = g, workload.GPU
+			devs[i] = g
 			issued[i] = func() uint64 { return g.Stats.Issued }
 		default:
 			n := npu.New(eng, en, gen, i, base)
-			devs[i], classes[i] = n, workload.NPU
+			devs[i] = n
 			issued[i] = func() uint64 { return n.Stats.Issued }
 		}
 	}
-	return devs, classes, issued
+	return devs, issued
 }
 
 // --- memoized warmup passes ----------------------------------------------
@@ -225,9 +250,9 @@ func resetWarmupCaches() {
 // latencies, tracker) but owns its scheme-specific fields. Probes never
 // attach to warmups — their results are memoized and shared across runs,
 // so an observer bound to one caller would see another's pass.
-func warmupOpts(cfg Config) core.Options {
+func warmupOpts(cfg Config, devices int) core.Options {
 	o := cfg.Engine
-	o.Devices = 4
+	o.Devices = devices
 	o.StaticGran = nil
 	o.FixedTable = nil
 	o.Probe = nil
@@ -235,11 +260,12 @@ func warmupOpts(cfg Config) core.Options {
 }
 
 // buildProbe assembles a measured run's probe stack from the config: the
-// built-in collector (Collect) and the caller's custom probe (NewProbe).
-func (c Config) buildProbe(sc Scenario, scheme core.Scheme) (*probe.Collector, probe.Probe) {
+// built-in collector (Collect, sized to the run's device count) and the
+// caller's custom probe (NewProbe).
+func (c Config) buildProbe(sc Scenario, scheme core.Scheme, devices int) (*probe.Collector, probe.Probe) {
 	var col *probe.Collector
 	if c.Collect {
-		col = probe.NewCollector(4)
+		col = probe.NewCollector(devices)
 	}
 	var custom probe.Probe
 	if c.NewProbe != nil {
@@ -268,8 +294,8 @@ func RunWithTable(sc Scenario, cfg Config) *meta.Table {
 	cfg = cfg.filled()
 	eng := sim.NewEngine()
 	mm := mem.New(eng, *cfg.Mem)
-	en := core.New(eng, mm, cfg.RegionBytes, core.Ours, warmupOpts(cfg))
-	devs, _, _ := buildDevices(eng, en, sc, cfg)
+	en := core.New(eng, mm, cfg.RegionBytes, core.Ours, warmupOpts(cfg, len(sc.Devices())))
+	devs, _ := buildDevices(eng, en, sc, cfg)
 	for _, d := range devs {
 		d.Start()
 	}
@@ -285,9 +311,10 @@ func RunWithTable(sc Scenario, cfg Config) *meta.Table {
 // exhaustive warmup search the paper charges against Static-device-best).
 func BestStaticGrans(sc Scenario, cfg Config) []meta.Gran {
 	cfg = cfg.filled()
-	out := make([]meta.Gran, 4)
-	for i, name := range sc.Workloads() {
-		out[i] = bestStaticFor(name, i, cfg)
+	specs := sc.Devices()
+	out := make([]meta.Gran, len(specs))
+	for i, spec := range specs {
+		out[i] = bestStaticFor(spec.Workload, i, cfg)
 	}
 	return out
 }
@@ -314,11 +341,11 @@ func bestStaticFor(name string, index int, cfg Config) meta.Gran {
 func staticStandaloneTime(name string, index int, g meta.Gran, cfg Config) sim.Time {
 	eng := sim.NewEngine()
 	mm := mem.New(eng, *cfg.Mem)
-	static := make([]meta.Gran, 4)
+	static := make([]meta.Gran, index+1)
 	for i := range static {
 		static[i] = g
 	}
-	opts := warmupOpts(cfg)
+	opts := warmupOpts(cfg, index+1)
 	opts.StaticGran = static
 	en := core.New(eng, mm, cfg.RegionBytes, core.StaticDeviceBest, opts)
 	gen, err := workload.ByName(name, cfg.Scale, cfg.Seed+uint64(index)*7919)
@@ -357,12 +384,12 @@ type StandaloneResult struct {
 func RunStandalone(name string, scheme core.Scheme, cfg Config) StandaloneResult {
 	cfg = cfg.filled()
 	opts := cfg.Engine
-	opts.Devices = 4
 	index := deviceIndexFor(workload.Profiles[name].Class)
+	opts.Devices = index + 1
 	switch scheme {
 	case core.StaticDeviceBest:
 		if opts.StaticGran == nil {
-			static := make([]meta.Gran, 4)
+			static := make([]meta.Gran, index+1)
 			static[index] = bestStaticFor(name, index, cfg)
 			opts.StaticGran = static
 		}
@@ -371,7 +398,7 @@ func RunStandalone(name string, scheme core.Scheme, cfg Config) StandaloneResult
 			opts.FixedTable = profileStandalone(name, index, cfg)
 		}
 	}
-	col, prb := cfg.buildProbe(Scenario{ID: name}, scheme)
+	col, prb := cfg.buildProbe(Scenario{ID: name}, scheme, index+1)
 	opts.Probe = probe.Multi(opts.Probe, prb)
 	eng := sim.NewEngine()
 	mm := mem.New(eng, *cfg.Mem)
@@ -420,7 +447,7 @@ func profileStandalone(name string, index int, cfg Config) *meta.Table {
 	t := profiledAlone.do(key, func() *meta.Table {
 		eng := sim.NewEngine()
 		mm := mem.New(eng, *cfg.Mem)
-		en := core.New(eng, mm, cfg.RegionBytes, core.Ours, warmupOpts(cfg))
+		en := core.New(eng, mm, cfg.RegionBytes, core.Ours, warmupOpts(cfg, index+1))
 		d := standaloneDevice(eng, en, name, index, cfg)
 		d.Start()
 		eng.RunAll()

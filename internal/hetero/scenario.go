@@ -22,8 +22,34 @@ type Scenario struct {
 	CPU, GPU, NPU1, NPU2 string
 }
 
-// Workloads lists the four workload names in device order.
-func (s Scenario) Workloads() [4]string { return [4]string{s.CPU, s.GPU, s.NPU1, s.NPU2} }
+// DeviceSpec describes one processing unit of a scenario: its device class
+// and the workload it runs. The harness derives device counts, models and
+// address quadrants from this slice instead of a hardcoded 4-wide shape.
+type DeviceSpec struct {
+	Class    workload.Class
+	Workload string
+}
+
+// Devices lists the scenario's processing units in device order (the
+// paper's mix: CPU, GPU, then the NPUs).
+func (s Scenario) Devices() []DeviceSpec {
+	return []DeviceSpec{
+		{Class: workload.CPU, Workload: s.CPU},
+		{Class: workload.GPU, Workload: s.GPU},
+		{Class: workload.NPU, Workload: s.NPU1},
+		{Class: workload.NPU, Workload: s.NPU2},
+	}
+}
+
+// Workloads lists the workload names in device order.
+func (s Scenario) Workloads() []string {
+	specs := s.Devices()
+	out := make([]string, len(specs))
+	for i, sp := range specs {
+		out[i] = sp.Workload
+	}
+	return out
+}
 
 // String returns the scenario identifier.
 func (s Scenario) String() string { return s.ID }

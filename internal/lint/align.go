@@ -136,10 +136,17 @@ func (a *Alignment) escapesAsBound(p *Package, stack []ast.Node) bool {
 			return isMetaCall(p, v)
 		case *ast.AssignStmt:
 			for _, lhs := range v.Lhs {
-				if id, ok := unparen(lhs).(*ast.Ident); ok {
-					if anyNameContains([]string{strings.ToLower(id.Name)}, boundVocabulary...) {
-						return true
-					}
+				var name string
+				switch t := unparen(lhs).(type) {
+				case *ast.Ident:
+					name = t.Name
+				case *ast.SelectorExpr:
+					// A bound-named struct field (op.hi, span.end)
+					// declares the contract just like a local does.
+					name = t.Sel.Name
+				}
+				if name != "" && anyNameContains([]string{strings.ToLower(name)}, boundVocabulary...) {
+					return true
 				}
 			}
 			return false

@@ -165,6 +165,12 @@ func Covers(addr uint64, size int, unitEnd uint64) bool {
 	end := addr + uint64(size) // named as a bound: fine
 	return end <= unitEnd && addr+uint64(size) > 0
 }
+
+type span struct{ lo, hi uint64 }
+
+func fill(s *span, addr uint64, size int) {
+	s.lo, s.hi = addr, addr+uint64(size) // bound-named field: fine
+}
 `,
 	}, "alignment")
 	if len(fs) != 0 {

@@ -108,13 +108,13 @@ func checkProbeScope(p *Package, body *ast.BlockStmt, classes map[string]bool, e
 			return false
 		case *ast.IncDecStmt:
 			if v.Tok == token.INC {
-				if acc, ok := accountingSite(v.X); ok {
+				if acc, ok := accountingSite(p, v.X); ok {
 					accs = append(accs, acc)
 				}
 			}
 		case *ast.AssignStmt:
 			if v.Tok == token.ADD_ASSIGN && len(v.Lhs) == 1 {
-				if acc, ok := accountingSite(v.Lhs[0]); ok {
+				if acc, ok := accountingSite(p, v.Lhs[0]); ok {
 					accs = append(accs, acc)
 				}
 			}
@@ -169,7 +169,11 @@ func checkProbeScope(p *Package, body *ast.BlockStmt, classes map[string]bool, e
 }
 
 // accountingSite classifies an increment target as a tracked cost counter.
-func accountingSite(e ast.Expr) (accounting, bool) {
+// The Switches parent is resolved both syntactically (the canonical
+// e.Stats.Switches.F spelling) and by type: policy methods charge through a
+// *SwitchStats receiver or local, and those increments carry the same
+// pairing obligation even though "Switches" never appears in the selector.
+func accountingSite(p *Package, e ast.Expr) (accounting, bool) {
 	sel, ok := unparen(e).(*ast.SelectorExpr)
 	if !ok {
 		return accounting{}, false
@@ -178,11 +182,30 @@ func accountingSite(e ast.Expr) (accounting, bool) {
 	if inner, ok := unparen(sel.X).(*ast.SelectorExpr); ok {
 		parent = inner.Sel.Name
 	}
+	if parent != "Switches" && isSwitchStats(p, sel.X) {
+		parent = "Switches"
+	}
 	field := sel.Sel.Name
 	if parent == "Switches" || field == "OverfetchBeats" || walkFields[field] {
 		return accounting{pos: e.Pos(), field: field, parent: parent}, true
 	}
 	return accounting{}, false
+}
+
+// isSwitchStats reports whether an expression's static type is core's
+// SwitchStats counter block, looking through one level of pointer — the
+// shape a policy method sees after `st := &e.Stats.Switches`.
+func isSwitchStats(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "SwitchStats"
 }
 
 // recordProbeCall notes probeSwitch/probeOverfetch/probeWalk emissions.

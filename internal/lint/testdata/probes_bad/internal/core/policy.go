@@ -1,0 +1,13 @@
+package core
+
+// lazyPolicy charges switch costs the way a scheme policy does: through a
+// *SwitchStats local rather than the literal e.Stats.Switches path.
+type lazyPolicy struct{}
+
+// OnDetection charges a class without its probe — the type-based half of
+// the pairing rule must still see it as a Switches accounting site.
+func (lazyPolicy) OnDetection(e *Engine) {
+	st := &e.Stats.Switches
+	st.UpWAR++
+	st.Correct++ // no probe class: exempt even through the typed path
+}

@@ -1,0 +1,16 @@
+package core
+
+import "unimem/internal/probe"
+
+// lazyPolicy charges switch costs the way a scheme policy does: through a
+// *SwitchStats local rather than the literal e.Stats.Switches path, with
+// every charge paired to its probe emission.
+type lazyPolicy struct{}
+
+// OnDetection pairs the typed-path charge with its probe.
+func (lazyPolicy) OnDetection(e *Engine) {
+	st := &e.Stats.Switches
+	st.UpWAR++
+	e.probeSwitch(probe.SwUpWAR)
+	st.Correct++ // no probe class: exempt even through the typed path
+}

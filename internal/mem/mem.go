@@ -193,7 +193,7 @@ func (m *Memory) access(addr uint64, size int, kind Kind, write bool, done func(
 		}
 	}
 	if done != nil {
-		m.eng.At(last, func() { done(last) })
+		m.eng.AtCall(last, done)
 	}
 }
 

@@ -420,6 +420,7 @@ func ByID(id string, o Options) (Figure, error) {
 		"fig15": Fig15, "fig16": Fig16, "fig17": Fig17, "fig18": Fig18,
 		"fig19": Fig19, "fig20": Fig20, "fig21": Fig21,
 		"ext-latency": ExtLatency, "ext-walklen": ExtWalkLen, "ext-breakdown": ExtBreakdown,
+		"ext-matrix": ExtMatrix,
 	}[id]
 	if !ok {
 		return Figure{}, fmt.Errorf("report: unknown experiment %q", id)
@@ -429,7 +430,7 @@ func ByID(id string, o Options) (Figure, error) {
 
 // IDs lists the experiment identifiers in paper order.
 func IDs() []string {
-	return []string{"fig04", "fig05", "fig06", "table2", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "ext-latency", "ext-walklen", "ext-breakdown"}
+	return []string{"fig04", "fig05", "fig06", "table2", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "ext-latency", "ext-walklen", "ext-breakdown", "ext-matrix"}
 }
 
 // ExtLatency is an extension experiment beyond the paper's figures: the
@@ -462,6 +463,37 @@ func ExtLatency(o Options) Figure {
 	return Figure{
 		ID:    "ext-latency",
 		Title: "extension: read-latency distribution per scheme (selected scenarios)",
+		Table: t,
+	}
+}
+
+// ExtMatrix is the registry-wide scheme matrix: every registered scheme —
+// paper reproductions and extensions alike — run over one accelerator-heavy
+// scenario. The scheme list is derived from the core registry, so a new
+// registered policy shows up here (and in mgsim -list) without touching
+// this package: the row set IS the registry.
+func ExtMatrix(o Options) Figure {
+	o = o.fill()
+	cfg := o.cfg()
+	sc := hetero.Scenario{ID: "npuheavy", CPU: "xal", GPU: "mm", NPU1: "alex", NPU2: "dlrm"}
+	base := hetero.Run(sc, core.Unsecure, cfg)
+	t := stats.NewTable("scheme", "origin", "norm exec", "meta %", "mean walk")
+	for _, s := range core.Schemes {
+		res := hetero.Run(sc, s, cfg)
+		n := hetero.Normalize(res, base)
+		origin := "paper"
+		if s.IsExtension() {
+			origin = "extension"
+		}
+		metaPct := 0.0
+		if res.TotalBytes > 0 {
+			metaPct = 100 * float64(res.MetaBytes) / float64(res.TotalBytes)
+		}
+		t.Row(s.String(), origin, n.Mean, metaPct, res.MeanWalk)
+	}
+	return Figure{
+		ID:    "ext-matrix",
+		Title: "extension: full scheme registry over an accelerator-heavy mix",
 		Table: t,
 	}
 }

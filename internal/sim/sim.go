@@ -10,7 +10,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -49,30 +48,69 @@ func (c Clock) Cycles(n int64) Time { return Time(n * c.PeriodPs) }
 // rounding down.
 func (c Clock) ToCycles(t Time) int64 { return int64(t) / c.PeriodPs }
 
-// Event is a scheduled callback.
+// Event is a scheduled callback. Exactly one of fn / fnAt is set: fnAt
+// receives the event's own timestamp, which lets completion paths pass a
+// pre-bound callback instead of allocating a closure that captures the time
+// (see AtCall).
 type event struct {
-	at  Time
-	seq uint64 // tie-breaker: FIFO among equal timestamps
-	fn  func()
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among equal timestamps
+	fn   func()
+	fnAt func(Time)
 }
 
+// eventLess orders events by (at, seq): earliest first, FIFO among equal
+// timestamps. (at, seq) is unique per event, so the order is total and the
+// pop sequence does not depend on the heap's internal layout.
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a hand-rolled binary min-heap. container/heap would box
+// every pushed event into an interface{}, allocating once per scheduled
+// callback — on the hot path of every memory beat.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // drop callback references so they can be collected
+	*h = s[:n]
+	i := 0
+	for {
+		small := i
+		if l := 2*i + 1; l < n && eventLess(s[l], s[small]) {
+			small = l
+		}
+		if r := 2*i + 2; r < n && eventLess(s[r], s[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return top
 }
 
 // Engine owns the event queue and the simulation clock.
@@ -89,9 +127,7 @@ type Engine struct {
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.events)
-	return e
+	return &Engine{}
 }
 
 // Now returns the current simulation time.
@@ -104,7 +140,21 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// AtCall schedules fn to run at absolute time t, passing t to the callback.
+// It is equivalent to At(t, func() { fn(t) }) without allocating the
+// closure: a completion path that already holds a long-lived func(Time) —
+// the memory model's done callbacks, the protection engine's pooled
+// continuations — schedules it directly, keeping the steady state
+// allocation-free.
+func (e *Engine) AtCall(t Time, fn func(Time)) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	e.events.push(event{at: t, seq: e.seq, fnAt: fn})
 }
 
 // After schedules fn to run d picoseconds from now.
@@ -119,10 +169,14 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.events.pop()
 	e.now = ev.at
 	e.Executed++
-	ev.fn()
+	if ev.fnAt != nil {
+		ev.fnAt(ev.at)
+	} else {
+		ev.fn()
+	}
 	return true
 }
 

@@ -90,10 +90,17 @@ type Stats struct {
 }
 
 // Tracker is the access-tracking unit.
+//
+// The Detection slices returned by Access, AccessRange and Flush are backed
+// by tracker-owned scratch and are valid only until the next call on the
+// same tracker; callers that keep detections across calls must copy them.
+// The engine consumes every detection before touching the tracker again, so
+// the steady state allocates nothing.
 type Tracker struct {
 	cfg       Config
 	entries   []entry
 	lastSweep sim.Time
+	scratch   []Detection // reused output buffer
 	// Stats is the running account.
 	Stats Stats
 }
@@ -156,10 +163,16 @@ func (t *Tracker) lookup(chunk uint64, now sim.Time, out *[]Detection) int {
 
 // Access records a 64B-block touch at simulation time now and returns any
 // detections produced by evictions this access caused (lifetime expiries
-// observed now, a full entry, or an LRU capacity victim).
+// observed now, a full entry, or an LRU capacity victim). The returned
+// slice aliases tracker scratch (see Tracker).
 func (t *Tracker) Access(addr uint64, now sim.Time) []Detection {
+	out := t.access(addr, now, t.scratch[:0])
+	t.scratch = out
+	return out
+}
+
+func (t *Tracker) access(addr uint64, now sim.Time, out []Detection) []Detection {
 	t.Stats.Accesses++
-	var out []Detection
 	t.sweepExpired(now, &out)
 	chunk := meta.ChunkIndex(addr)
 	idx := t.lookup(chunk, now, &out)
@@ -222,11 +235,12 @@ func (t *Tracker) evict(i int, cause EvictCause) Detection {
 // chunk boundaries (an NPU DMA tile, a coalesced GPU burst), and returns
 // the detections any resulting evictions produce. Semantically identical
 // to calling Access for every 64B block, but sets bits a word at a time.
+// The returned slice aliases tracker scratch (see Tracker).
 func (t *Tracker) AccessRange(addr uint64, size int, now sim.Time) []Detection {
 	if size <= meta.BlockSize {
 		return t.Access(addr, now)
 	}
-	var out []Detection
+	out := t.scratch[:0]
 	end := addr + uint64(size)
 	for addr < end {
 		chunkEnd := meta.ChunkBase(addr) + meta.ChunkSize
@@ -234,16 +248,16 @@ func (t *Tracker) AccessRange(addr uint64, size int, now sim.Time) []Detection {
 		if spanEnd > chunkEnd {
 			spanEnd = chunkEnd
 		}
-		out = append(out, t.accessSpan(addr, spanEnd, now)...)
+		out = t.accessSpan(addr, spanEnd, now, out)
 		addr = spanEnd
 	}
+	t.scratch = out
 	return out
 }
 
 // accessSpan handles a touch confined to one chunk.
-func (t *Tracker) accessSpan(addr, end uint64, now sim.Time) []Detection {
+func (t *Tracker) accessSpan(addr, end uint64, now sim.Time, out []Detection) []Detection {
 	t.Stats.Accesses++
-	var out []Detection
 	t.sweepExpired(now, &out)
 	chunk := meta.ChunkIndex(addr)
 	idx := t.lookup(chunk, now, &out)
@@ -278,14 +292,16 @@ func (t *Tracker) accessSpan(addr, end uint64, now sim.Time) []Detection {
 }
 
 // Flush evicts all valid entries (used at end of simulation so every
-// tracked chunk produces a detection).
+// tracked chunk produces a detection). The returned slice aliases tracker
+// scratch (see Tracker).
 func (t *Tracker) Flush() []Detection {
-	var out []Detection
+	out := t.scratch[:0]
 	for i := range t.entries {
 		if t.entries[i].valid {
 			out = append(out, t.evict(i, EvictFlush))
 		}
 	}
+	t.scratch = out
 	return out
 }
 

@@ -190,7 +190,9 @@ func TestAccessRangeEquivalenceProperty(t *testing.T) {
 		size := (int(span)%2048 + 1) * meta.BlockSize
 		a := New(Config{Entries: 4, LifetimePs: sim.MaxTime / 2})
 		b := New(Config{Entries: 4, LifetimePs: sim.MaxTime / 2})
-		detA := a.AccessRange(addr, size, 5)
+		// AccessRange returns tracker-owned scratch; copy before a.Flush
+		// reuses it below.
+		detA := append([]Detection(nil), a.AccessRange(addr, size, 5)...)
 		var detB []Detection
 		for off := 0; off < size; off += meta.BlockSize {
 			detB = append(detB, b.Access(addr+uint64(off), 5)...)

@@ -61,6 +61,7 @@ type Walker struct {
 
 	rootCache *cache.Cache    // subtree root registers, modelled as 1-way-per-entry LRU
 	touched   map[uint64]bool // chunks written since boot (for PruneUnused)
+	buf       []uint64        // reused Fetches backing store (see Read/Write)
 }
 
 // New builds a walker over a geometry and a shared metadata cache.
@@ -99,8 +100,19 @@ func (w *Walker) Touched(blockIdx uint64) bool {
 // Read walks the tree for a read of a unit whose counter lives at
 // startLevel, ascending until a trusted point: a metadata-cache hit, an
 // on-chip subtree root, or the tree root.
+//
+// The returned Walk's Fetches slice is backed by walker-owned scratch and
+// is valid only until the walker's next Read or Write; callers consume it
+// before walking again (the engine does), keeping the hot path free of
+// per-walk allocations.
 func (w *Walker) Read(blockIdx uint64, startLevel int) Walk {
-	var walk Walk
+	walk := w.read(blockIdx, startLevel)
+	w.buf = walk.Fetches
+	return walk
+}
+
+func (w *Walker) read(blockIdx uint64, startLevel int) Walk {
+	walk := Walk{Fetches: w.buf[:0]}
 	if w.cfg.PruneUnused && !w.Touched(blockIdx) {
 		walk.Pruned = true
 		return walk
@@ -143,9 +155,16 @@ func (w *Walker) assertFetch(walk *Walk, addr uint64) {
 // Write walks the tree for a dirty-eviction write: every level from the
 // unit's counter up to the root (or a trusted on-chip subtree root) is
 // updated (paper Fig. 14). Cached levels update in place; missing levels
-// are fetched (read traffic) and dirtied.
+// are fetched (read traffic) and dirtied. Fetches aliases walker scratch
+// exactly as for Read.
 func (w *Walker) Write(blockIdx uint64, startLevel int) Walk {
-	var walk Walk
+	walk := w.write(blockIdx, startLevel)
+	w.buf = walk.Fetches
+	return walk
+}
+
+func (w *Walker) write(blockIdx uint64, startLevel int) Walk {
+	walk := Walk{Fetches: w.buf[:0]}
 	w.MarkTouched(blockIdx)
 	for level := startLevel; level < w.geom.Levels(); level++ {
 		if w.subtreeStop(blockIdx, level, &walk) {

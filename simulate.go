@@ -33,9 +33,11 @@ const (
 	BMFUnusedOursNoSwitch = core.BMFUnusedOursNoSwitch
 	PerPartitionOracle    = core.PerPartitionOracle
 	MACOnly               = core.MACOnly
+	MGXVersioned          = core.MGXVersioned
 )
 
-// Schemes lists every scheme.
+// Schemes lists every registered scheme, paper reproductions and
+// extensions alike (Scheme.IsExtension distinguishes them).
 var Schemes = core.Schemes
 
 // Scenario is one heterogeneous mix: a CPU, a GPU and two NPU workloads.

@@ -107,8 +107,11 @@ func TestSchemeNames(t *testing.T) {
 	if Ours.String() != "Ours" || BMFUnusedOurs.String() != "BMF&Unused+Ours" {
 		t.Fatal("scheme naming broken")
 	}
-	if len(Schemes) != 14 {
+	if len(Schemes) != 15 {
 		t.Fatalf("schemes = %d", len(Schemes))
+	}
+	if !MGXVersioned.IsExtension() || Ours.IsExtension() {
+		t.Fatal("extension flag broken")
 	}
 }
 
