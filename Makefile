@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint lint-baseline lint-suppressions lint-sarif build test test-race test-race-sweep test-invariants fuzz cover bench-smoke
+.PHONY: check fmt vet lint lint-baseline lint-suppressions lint-sarif lint-hotpath build test test-race test-race-sweep test-invariants fuzz cover bench-smoke
 
 check: fmt vet lint lint-suppressions build test test-race-sweep
 
@@ -28,6 +28,16 @@ lint-baseline:
 # Audit //lint:ignore directives; stale (unused) ones fail.
 lint-suppressions:
 	$(GO) run ./cmd/mglint -suppressions ./...
+
+# Bidirectional zero-alloc guard on the pooled Submit path: the static
+# hot-path audit cross-checked against the compiler's escape analysis
+# (-escape), and the dynamic benchmark guard (TestSubmitSteadyStateZeroAlloc
+# asserts 0 allocs/op with the probe off). If either side disagrees with
+# the other — the audit is silent but the benchtest allocates, or vice
+# versa — this target fails.
+lint-hotpath:
+	$(GO) run ./cmd/mglint -escape -rules hotpath-alloc ./...
+	$(GO) test -run TestSubmitSteadyStateZeroAlloc ./internal/core/
 
 # Machine-readable report for CI artifact upload (never fails the build on
 # its own; the lint target is the gate).
@@ -68,9 +78,15 @@ cover:
 # plus the zero-allocation guard on the probe-off submit path (the guard
 # also runs in plain `test`, so `check` carries it). Catches "still
 # correct but now allocates / serializes" regressions without a full
-# benchmark session; CI runs this after `check`.
+# benchmark session; CI runs this after `check` and uploads the
+# machine-readable record (BENCH_smoke.json: scheme, workers, ns/op,
+# allocs/op, git SHA — see cmd/benchjson) as an artifact.
 bench-smoke:
-	$(GO) test -run TestSubmitSteadyStateZeroAlloc -bench 'BenchmarkSweepWorkers' -benchtime 1x -benchmem . ./internal/core/
+	$(GO) test -run TestSubmitSteadyStateZeroAlloc -bench 'BenchmarkSweepWorkers' -benchtime 1x -benchmem . ./internal/core/ > bench-smoke.out \
+		|| { cat bench-smoke.out; rm -f bench-smoke.out; exit 1; }
+	@cat bench-smoke.out
+	$(GO) run ./cmd/benchjson -sha "$$(git rev-parse HEAD 2>/dev/null || echo unknown)" -o BENCH_smoke.json < bench-smoke.out
+	@rm -f bench-smoke.out
 
 # Short fuzz pass over the three targets (seed corpus runs in plain `test`).
 fuzz:

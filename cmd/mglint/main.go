@@ -1,9 +1,9 @@
 // Command mglint runs the repository's domain-aware static analyzers over
 // the module: the expression-local rules (magic-granularity, unit-mixing,
 // alignment, unchecked-return) and the module-wide dataflow rules
-// (unit-flow, determinism, probe-discipline) — see internal/lint. It exits
-// non-zero when any unsuppressed, un-baselined finding remains, making it
-// suitable as a CI gate:
+// (unit-flow, determinism, probe-discipline, concurrency, hotpath-alloc) —
+// see internal/lint. It exits non-zero when any unsuppressed, un-baselined
+// finding remains, making it suitable as a CI gate:
 //
 //	go run ./cmd/mglint -format sarif -baseline .mglint-baseline.json ./...
 //
@@ -42,6 +42,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		baseline = fs.String("baseline", "", "baseline file: findings listed there are accepted")
 		writeBl  = fs.Bool("write-baseline", false, "regenerate the -baseline file from the current findings and exit")
 		audit    = fs.Bool("suppressions", false, "audit //lint:ignore directives and report stale ones")
+		escape   = fs.Bool("escape", false, "hybrid mode: cross-check the hot-path alloc audit against `go build -gcflags=-m`")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: mglint [flags] [./...]\n\n")
@@ -72,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	var opts lint.Options
 	opts.Load.Tests = *tests
+	opts.Escape = *escape
 	if *rules != "" {
 		opts.Rules = strings.Split(*rules, ",")
 	}

@@ -1,0 +1,926 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Concurrency is the module-wide concurrency-safety rule family, the
+// static counterpart of the `-race` sweep tests. The scale-out arc
+// (distributed sweeps, batched submission, per-device queues) keeps adding
+// goroutines around state that PR 5 made pool-shaped and PR 2 made
+// deterministic; this rule proves the sharing discipline instead of hoping
+// a race test's schedule happens to catch a violation. Four checks:
+//
+//  1. guarded-by inference: package-level vars and captured locals that are
+//     reachable from more than one goroutine must hold the same
+//     synchronization primitive (a named mutex, or sync/atomic) on every
+//     access path — the first primitive observed becomes the object's
+//     inferred guard, and any access path that disagrees is a finding;
+//  2. context discipline: a spawned worker that loops must consult a
+//     context.Context (ctx.Err/ctx.Done), so every future service
+//     (the ROADMAP's mgd) can actually cancel it;
+//  3. channel lifecycle: a send that can race with a close of the same
+//     channel (different goroutine contexts, or textually after the close)
+//     is a latent send-on-closed-channel panic;
+//  4. WaitGroup discipline: Add must happen-before the go statement whose
+//     goroutine calls Done — Add inside the goroutine races Wait.
+//
+// Ownership transfers the checker cannot see (per-run engines, index-
+// sharded result slices, happens-before edges through channel protocols)
+// are exactly what suppression directives with reasons are for; slice/array
+// index stores are exempt by construction (the sharded-writer idiom).
+type Concurrency struct{}
+
+// Name implements Analyzer.
+func (*Concurrency) Name() string { return "concurrency" }
+
+// Doc implements Analyzer.
+func (*Concurrency) Doc() string {
+	return "cross-goroutine state needs one consistent guard; workers need ctx; channel close/send and WaitGroup.Add ordering (dataflow)"
+}
+
+// Check implements Analyzer; concurrency only runs module-wide.
+func (*Concurrency) Check(p *Package) []Finding { return nil }
+
+// ownerCtx is the pseudo spawn id of code running on the spawning
+// goroutine itself.
+const ownerCtx = -1
+
+// conScope is one single-goroutine-context region of a function: the
+// function's own body, or the body of a closure that is spawned by `go` or
+// bound to a local and callable from one.
+type conScope struct {
+	id     int
+	lit    *ast.FuncLit // nil for the owner scope
+	body   *ast.BlockStmt
+	guards *scopeGuards
+	// ctxs is the set of goroutine contexts this scope can run on: spawn
+	// ids for goroutine contexts, ownerCtx for the declaring goroutine.
+	ctxs map[int]bool
+}
+
+// spawnSite is one `go` statement.
+type spawnSite struct {
+	id     int
+	stmt   *ast.GoStmt
+	looped bool         // the statement sits inside a loop: many instances
+	lit    *ast.FuncLit // spawned literal (directly or through a local)
+	callee *types.Func  // spawned declared function, when resolvable
+}
+
+// conAccess is one access to a tracked object.
+type conAccess struct {
+	pos    token.Position
+	write  bool
+	ctxs   map[int]bool
+	guards map[guardKey]bool
+}
+
+// funcConc is the per-function concurrency analysis state.
+type funcConc struct {
+	p      *Package
+	fd     *ast.FuncDecl
+	scopes []*conScope
+	// scopeOf maps each root literal to its scope (owner scope under nil).
+	scopeOf map[*ast.FuncLit]*conScope
+	// bound maps a local func-typed object to the literal it is bound to.
+	bound  map[types.Object]*ast.FuncLit
+	spawns []*spawnSite
+	// looped marks spawn ids whose go statement runs in a loop.
+	looped map[int]bool
+	// accesses per object, in deterministic (collection) order.
+	objs     []types.Object
+	accesses map[types.Object][]conAccess
+	// chanCloses / chanSends index channel lifecycle sites per channel.
+	chanObjs   []types.Object
+	chanCloses map[types.Object][]chanSite
+	chanSends  map[types.Object][]chanSite
+	// goroutineCallees are declared functions statically called from
+	// goroutine-context scopes (roots for the module-wide reachability).
+	goroutineCallees []*types.Func
+	// firstGo / waitPos bound the owner-scope conflict window.
+	firstGo token.Pos
+	waitPos token.Pos
+	out     []Finding
+}
+
+type chanSite struct {
+	pos  token.Position
+	ctxs map[int]bool
+}
+
+// CheckModule implements ModuleAnalyzer.
+func (*Concurrency) CheckModule(pkgs []*Package) []Finding {
+	g := buildCallGraph(pkgs)
+	var out []Finding
+	var fcs []*funcConc
+	for _, fn := range g.funcs {
+		info := g.decls[fn]
+		fc := analyzeFuncConc(info.pkg, info.decl)
+		if fc != nil {
+			fcs = append(fcs, fc)
+			out = append(out, fc.out...)
+		}
+	}
+	out = append(out, checkPackageVarsAcrossGoroutines(pkgs, g, fcs)...)
+	return out
+}
+
+// analyzeFuncConc runs the scope-level checks over one declared function.
+// Returns nil when the function spawns no goroutines (nothing to check at
+// this level; the module-wide package-var pass still sees its accesses
+// through the call graph).
+func analyzeFuncConc(p *Package, fd *ast.FuncDecl) *funcConc {
+	if fd.Body == nil || !hasGoStmt(fd.Body) {
+		return nil
+	}
+	fc := &funcConc{
+		p: p, fd: fd,
+		scopeOf:    map[*ast.FuncLit]*conScope{},
+		bound:      map[types.Object]*ast.FuncLit{},
+		looped:     map[int]bool{},
+		accesses:   map[types.Object][]conAccess{},
+		chanCloses: map[types.Object][]chanSite{},
+		chanSends:  map[types.Object][]chanSite{},
+	}
+	fc.buildScopes()
+	fc.propagateContexts()
+	for _, sc := range fc.scopes {
+		fc.collectScope(sc)
+	}
+	fc.checkSharedAccesses()
+	fc.checkSpawnDiscipline()
+	fc.checkChannelLifecycle()
+	return fc
+}
+
+// hasGoStmt reports whether the body spawns any goroutine.
+func hasGoStmt(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// buildScopes partitions the function into scopes: the owner body plus
+// every closure that is spawned or bound to a local variable. Closures
+// passed inline to ordinary calls run synchronously on their caller's
+// goroutine and melt into the enclosing scope.
+func (fc *funcConc) buildScopes() {
+	owner := &conScope{id: 0, body: fc.fd.Body, ctxs: map[int]bool{}}
+	fc.scopes = append(fc.scopes, owner)
+	fc.scopeOf[nil] = owner
+
+	// Pass 1: find scope-rooting literals (bound or spawned) and spawn
+	// sites, with loop depth for instance counting.
+	var loopDepth int
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch v := m.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loopDepth++
+				if f, ok := v.(*ast.ForStmt); ok {
+					walkChildren(f, walk)
+				} else {
+					walkChildren(v.(*ast.RangeStmt), walk)
+				}
+				loopDepth--
+				return false
+			case *ast.AssignStmt:
+				for i, rhs := range v.Rhs {
+					if lit, ok := unparen(rhs).(*ast.FuncLit); ok && i < len(v.Lhs) {
+						if obj := lhsObject(fc.p, v.Lhs[i]); obj != nil {
+							fc.bound[obj] = lit
+							fc.rootScope(lit)
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, rhs := range v.Values {
+					if lit, ok := unparen(rhs).(*ast.FuncLit); ok && i < len(v.Names) {
+						if obj := fc.p.Info.Defs[v.Names[i]]; obj != nil {
+							fc.bound[obj] = lit
+							fc.rootScope(lit)
+						}
+					}
+				}
+			case *ast.GoStmt:
+				sp := &spawnSite{id: len(fc.spawns) + 1, stmt: v, looped: loopDepth > 0}
+				if fc.firstGo == token.NoPos || v.Pos() < fc.firstGo {
+					fc.firstGo = v.Pos()
+				}
+				switch fun := unparen(v.Call.Fun).(type) {
+				case *ast.FuncLit:
+					sp.lit = fun
+					fc.rootScope(fun)
+				default:
+					if obj := lhsObject(fc.p, v.Call.Fun); obj != nil && fc.bound[obj] != nil {
+						sp.lit = fc.bound[obj]
+					} else if fn := calleeFunc(fc.p, v.Call); fn != nil {
+						sp.callee = fn
+					}
+				}
+				fc.looped[sp.id] = sp.looped
+				fc.spawns = append(fc.spawns, sp)
+			}
+			return true
+		})
+	}
+	walk(fc.fd.Body)
+
+	// The owner conflict window closes at the first WaitGroup.Wait call in
+	// the owner scope: accesses after the join barrier are sequential again.
+	ast.Inspect(fc.fd.Body, func(n ast.Node) bool {
+		if fc.isRootLit(n) {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" && isWaitGroup(fc.p, sel.X) {
+				if fc.waitPos == token.NoPos || call.Pos() < fc.waitPos {
+					fc.waitPos = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+}
+
+// walkChildren applies walk to each direct child of a loop statement so the
+// loop's own Inspect recursion (cut short by the caller) still covers it.
+func walkChildren(n ast.Node, walk func(ast.Node)) {
+	switch v := n.(type) {
+	case *ast.ForStmt:
+		if v.Init != nil {
+			walk(v.Init)
+		}
+		if v.Cond != nil {
+			walk(v.Cond)
+		}
+		if v.Post != nil {
+			walk(v.Post)
+		}
+		walk(v.Body)
+	case *ast.RangeStmt:
+		if v.Key != nil {
+			walk(v.Key)
+		}
+		if v.Value != nil {
+			walk(v.Value)
+		}
+		walk(v.X)
+		walk(v.Body)
+	}
+}
+
+// rootScope registers lit as a scope root (idempotent).
+func (fc *funcConc) rootScope(lit *ast.FuncLit) {
+	if fc.scopeOf[lit] != nil {
+		return
+	}
+	sc := &conScope{id: len(fc.scopes), lit: lit, body: lit.Body, ctxs: map[int]bool{}}
+	fc.scopes = append(fc.scopes, sc)
+	fc.scopeOf[lit] = sc
+}
+
+// isRootLit reports whether n is a literal that owns its own scope.
+func (fc *funcConc) isRootLit(n ast.Node) bool {
+	lit, ok := n.(*ast.FuncLit)
+	return ok && fc.scopeOf[lit] != nil
+}
+
+// inspectScope walks one scope's body, skipping nested root literals.
+func (fc *funcConc) inspectScope(sc *conScope, fn func(ast.Node) bool) {
+	ast.Inspect(sc.body, func(n ast.Node) bool {
+		if n != sc.body && fc.isRootLit(n) {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// propagateContexts assigns goroutine contexts: spawned scopes start from
+// their spawn id, the owner from ownerCtx, and contexts flow along calls to
+// locally-bound closures until fixpoint.
+func (fc *funcConc) propagateContexts() {
+	fc.scopeOf[nil].ctxs[ownerCtx] = true
+	for _, sp := range fc.spawns {
+		if sp.lit != nil {
+			if sc := fc.scopeOf[sp.lit]; sc != nil {
+				sc.ctxs[sp.id] = true
+			}
+		}
+	}
+	// Call edges: scope -> locally-bound closure it invokes.
+	edges := map[*conScope][]*conScope{}
+	for _, sc := range fc.scopes {
+		fc.inspectScope(sc, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// A `go name(...)` inside this scope roots a new context, not a
+			// synchronous call edge.
+			if obj := lhsObject(fc.p, call.Fun); obj != nil {
+				if lit := fc.bound[obj]; lit != nil && !fc.isSpawnCall(call) {
+					if callee := fc.scopeOf[lit]; callee != nil {
+						edges[sc] = append(edges[sc], callee)
+					}
+				}
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, sc := range fc.scopes {
+			for _, callee := range edges[sc] {
+				for c := range sc.ctxs {
+					if !callee.ctxs[c] {
+						callee.ctxs[c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// isSpawnCall reports whether call is the call expression of a go statement.
+func (fc *funcConc) isSpawnCall(call *ast.CallExpr) bool {
+	for _, sp := range fc.spawns {
+		if sp.stmt.Call == call {
+			return true
+		}
+	}
+	return false
+}
+
+// collectScope records accesses to shared-candidate objects (captured
+// locals and package-level vars), channel lifecycle sites, and
+// goroutine-context callees for one scope.
+func (fc *funcConc) collectScope(sc *conScope) {
+	sc.guards = guardsOfScope(fc.p, sc.body, fc.isRootLit)
+	gor := isGoroutineCtx(sc.ctxs)
+
+	// Pass 1: write targets and atomic-covered positions.
+	writes := map[*ast.Ident]bool{}
+	atomicPos := map[*ast.Ident]bool{}
+	fc.inspectScope(sc, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				if id := writeBaseIdent(fc.p, lhs); id != nil {
+					writes[id] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id := writeBaseIdent(fc.p, v.X); id != nil {
+				writes[id] = true
+			}
+		case *ast.CallExpr:
+			if obj, ok := atomicCallTarget(fc.p, v); ok && obj != nil {
+				if u, ok := unparen(v.Args[0]).(*ast.UnaryExpr); ok {
+					if id, ok := unparen(u.X).(*ast.Ident); ok {
+						atomicPos[id] = true
+						fc.record(obj, conAccess{
+							pos: fc.p.Fset.Position(v.Pos()), write: true,
+							ctxs: sc.ctxs, guards: map[guardKey]bool{guardAtomic: true},
+						})
+					}
+				}
+			}
+			if gor {
+				if fn := calleeFunc(fc.p, v); fn != nil && fn.Pkg() != nil {
+					fc.goroutineCallees = append(fc.goroutineCallees, fn)
+				}
+			}
+		case *ast.GoStmt:
+			if gor {
+				if fn := calleeFunc(fc.p, v.Call); fn != nil {
+					fc.goroutineCallees = append(fc.goroutineCallees, fn)
+				}
+			}
+		case *ast.SendStmt:
+			if ch := chanObject(fc.p, v.Chan); ch != nil {
+				fc.recordChan(fc.chanSends, ch, chanSite{pos: fc.p.Fset.Position(v.Pos()), ctxs: sc.ctxs})
+			}
+		}
+		return true
+	})
+
+	// Pass 2: every identifier access to a tracked object.
+	fc.inspectScope(sc, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SelectorExpr:
+			// The field name itself is not an access; the base is (visited
+			// on recursion). Imported package-level vars are the exception:
+			// pkg.Var accesses resolve through the selector's Sel.
+			if obj, ok := fc.p.Info.Uses[v.Sel].(*types.Var); ok && isPackageVar(obj) {
+				fc.recordIdentAccess(sc, v.Sel, obj, writes[v.Sel], atomicPos)
+			}
+			return true
+		case *ast.Ident:
+			obj, _ := fc.p.Info.Uses[v].(*types.Var)
+			if obj == nil {
+				return true
+			}
+			if obj.IsField() {
+				return true
+			}
+			if !isPackageVar(obj) && !fc.isCapturedIn(sc, obj) {
+				return true
+			}
+			fc.recordIdentAccess(sc, v, obj, writes[v], atomicPos)
+		case *ast.CallExpr:
+			if id, ok := unparen(v.Fun).(*ast.Ident); ok {
+				if _, builtin := fc.p.Info.Uses[id].(*types.Builtin); builtin && id.Name == "close" && len(v.Args) == 1 {
+					if ch := chanObject(fc.p, v.Args[0]); ch != nil {
+						fc.recordChan(fc.chanCloses, ch, chanSite{pos: fc.p.Fset.Position(v.Pos()), ctxs: sc.ctxs})
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// recordIdentAccess records one identifier access with its inferred guards.
+func (fc *funcConc) recordIdentAccess(sc *conScope, id *ast.Ident, obj *types.Var, write bool, atomicPos map[*ast.Ident]bool) {
+	if atomicPos[id] {
+		return // already recorded as an atomic access at the call
+	}
+	if isAtomicType(obj.Type()) || syncGuarded(obj.Type()) {
+		return // the type synchronizes itself
+	}
+	// Owner-scope accesses outside the spawn window run sequentially:
+	// before the first go statement nothing else exists, after the
+	// WaitGroup join barrier everything else is gone.
+	if sc.lit == nil && onlyOwner(sc.ctxs) {
+		if fc.firstGo != token.NoPos && id.Pos() < fc.firstGo {
+			return
+		}
+		if fc.waitPos != token.NoPos && id.Pos() > fc.waitPos {
+			return
+		}
+	}
+	fc.record(obj, conAccess{
+		pos: fc.p.Fset.Position(id.Pos()), write: write,
+		ctxs: sc.ctxs, guards: sc.guards.heldAt(id.Pos()),
+	})
+}
+
+// record appends an access for obj, keeping first-seen object order.
+func (fc *funcConc) record(obj types.Object, a conAccess) {
+	if _, ok := fc.accesses[obj]; !ok {
+		fc.objs = append(fc.objs, obj)
+	}
+	fc.accesses[obj] = append(fc.accesses[obj], a)
+}
+
+func (fc *funcConc) recordChan(m map[types.Object][]chanSite, ch types.Object, s chanSite) {
+	if _, ok := m[ch]; !ok {
+		found := false
+		for _, o := range fc.chanObjs {
+			if o == ch {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fc.chanObjs = append(fc.chanObjs, ch)
+		}
+	}
+	m[ch] = append(m[ch], s)
+}
+
+// isCapturedIn reports whether obj is declared in this function but outside
+// the given scope's literal — i.e. the scope closes over it.
+func (fc *funcConc) isCapturedIn(sc *conScope, obj *types.Var) bool {
+	pos := obj.Pos()
+	if pos < fc.fd.Pos() || pos > fc.fd.End() {
+		return false
+	}
+	if sc.lit != nil && pos >= sc.lit.Pos() && pos <= sc.lit.End() {
+		return false // declared inside the goroutine: per-instance state
+	}
+	return true
+}
+
+// isPackageVar reports whether obj is a package-level variable.
+func isPackageVar(obj *types.Var) bool {
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+func isGoroutineCtx(ctxs map[int]bool) bool {
+	for c := range ctxs {
+		if c != ownerCtx {
+			return true
+		}
+	}
+	return false
+}
+
+func onlyOwner(ctxs map[int]bool) bool {
+	return len(ctxs) == 1 && ctxs[ownerCtx]
+}
+
+// checkSharedAccesses applies the guarded-by lattice to every object with
+// accesses from more than one goroutine instance.
+func (fc *funcConc) checkSharedAccesses() {
+	for _, obj := range fc.objs {
+		accs := fc.accesses[obj]
+		if !fc.conflicting(accs) {
+			continue
+		}
+		// The inferred guard is the first non-empty guard set observed, in
+		// collection order (scopes in declaration order, positions within).
+		var required map[guardKey]bool
+		for _, a := range accs {
+			if len(a.guards) > 0 {
+				required = a.guards
+				break
+			}
+		}
+		if required == nil {
+			// Nothing guards it anywhere: one finding at the first write.
+			for _, a := range accs {
+				if a.write {
+					fc.out = append(fc.out, Finding{
+						Pos:  a.pos,
+						Rule: "concurrency",
+						Msg: obj.Name() + " is written from more than one goroutine with no synchronization on any access path; " +
+							"guard every access with one mutex or sync/atomic",
+					})
+					break
+				}
+			}
+			continue
+		}
+		for _, a := range accs {
+			if intersects(a.guards, required) {
+				continue
+			}
+			what := "holds no guard"
+			if len(a.guards) > 0 {
+				what = "holds " + describeGuards(a.guards)
+			}
+			fc.out = append(fc.out, Finding{
+				Pos:  a.pos,
+				Rule: "concurrency",
+				Msg: obj.Name() + " is guarded by " + describeGuards(required) + " on its first access path but this access " +
+					what + "; every path must hold the same primitive",
+			})
+		}
+	}
+}
+
+// conflicting reports whether the accesses span more than one goroutine
+// instance with at least one write. A looped spawn counts as many
+// instances on its own; distinct contexts (owner + spawn, or two spawns)
+// conflict pairwise.
+func (fc *funcConc) conflicting(accs []conAccess) bool {
+	wrote := false
+	instances := 0
+	seen := map[int]bool{}
+	for _, a := range accs {
+		if a.write {
+			wrote = true
+		}
+		for c := range a.ctxs {
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			instances++
+			if c != ownerCtx && fc.looped[c] {
+				instances++ // many instances of the same spawn site
+			}
+		}
+	}
+	return wrote && instances >= 2
+}
+
+func intersects(a, b map[guardKey]bool) bool {
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSpawnDiscipline runs the per-spawn checks: context plumbing for
+// looping workers and WaitGroup.Add-before-go.
+func (fc *funcConc) checkSpawnDiscipline() {
+	for _, sp := range fc.spawns {
+		var body *ast.BlockStmt
+		switch {
+		case sp.lit != nil:
+			body = sp.lit.Body
+		case sp.callee != nil:
+			// A spawned declared function is checked at its own declaration
+			// by the module pass; here we only know the call site.
+		}
+		if body == nil {
+			continue
+		}
+		if loopsForever(body) && !referencesContext(fc.p, body) {
+			fc.out = append(fc.out, Finding{
+				Pos:  fc.p.Fset.Position(sp.stmt.Pos()),
+				Rule: "concurrency",
+				Msg: "spawned worker loops without consulting a context.Context; " +
+					"accept a ctx and check ctx.Err or ctx.Done between work items so the worker can be cancelled",
+			})
+		}
+		fc.checkWaitGroupAdd(sp, body)
+	}
+}
+
+// loopsForever reports whether the body contains any for/range loop — the
+// worker shape that must be cancellable.
+func loopsForever(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+		case *ast.FuncLit:
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// checkWaitGroupAdd enforces Add-happens-before-go for every WaitGroup the
+// goroutine calls Done on, and reports Add calls inside the goroutine.
+func (fc *funcConc) checkWaitGroupAdd(sp *spawnSite, body *ast.BlockStmt) {
+	var doneOn []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !isWaitGroup(fc.p, sel.X) {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Done":
+			doneOn = append(doneOn, renderGuardPath(sel.X))
+		case "Add":
+			fc.out = append(fc.out, Finding{
+				Pos:  fc.p.Fset.Position(call.Pos()),
+				Rule: "concurrency",
+				Msg: renderGuardPath(sel.X) + ".Add inside the spawned goroutine races Wait; " +
+					"call Add before the go statement so the counter is raised before Wait can observe it",
+			})
+		}
+		return true
+	})
+	for _, wg := range doneOn {
+		if !fc.addBefore(wg, sp.stmt.Pos()) {
+			fc.out = append(fc.out, Finding{
+				Pos:  fc.p.Fset.Position(sp.stmt.Pos()),
+				Rule: "concurrency",
+				Msg: "goroutine calls " + wg + ".Done but no " + wg + ".Add precedes the go statement; " +
+					"Wait can return before this goroutine is counted",
+			})
+		}
+	}
+}
+
+// addBefore reports whether wg.Add is called before pos anywhere in the
+// declaring function (outside spawned scopes).
+func (fc *funcConc) addBefore(wg string, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fc.fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if lit, ok := n.(*ast.FuncLit); ok && fc.scopeOf[lit] != nil {
+			if sc := fc.scopeOf[lit]; isGoroutineCtx(sc.ctxs) {
+				return false
+			}
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok &&
+			sel.Sel.Name == "Add" && isWaitGroup(fc.p, sel.X) && renderGuardPath(sel.X) == wg {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkChannelLifecycle reports sends that can race with a close of the
+// same channel: the send and the close run on different goroutine
+// contexts, share a many-instance context, or the send textually follows
+// the close on one context.
+func (fc *funcConc) checkChannelLifecycle() {
+	for _, ch := range fc.chanObjs {
+		closes := fc.chanCloses[ch]
+		if len(closes) == 0 {
+			continue
+		}
+		for _, send := range fc.chanSends[ch] {
+			for _, cl := range closes {
+				if fc.canRace(send, cl) {
+					fc.out = append(fc.out, Finding{
+						Pos:  send.pos,
+						Rule: "concurrency",
+						Msg: "send on " + ch.Name() + " can race with its close; a send on a closed channel panics — " +
+							"prove the ordering (e.g. close only after every sender stopped) or suppress with the protocol that does",
+					})
+					break
+				}
+			}
+		}
+	}
+}
+
+// canRace reports whether a send and a close can interleave: they run on
+// different contexts, or share a looped (many-instance) goroutine context,
+// or the send follows the close in source order on the same context.
+func (fc *funcConc) canRace(send, cl chanSite) bool {
+	shared := false
+	for c := range send.ctxs {
+		if cl.ctxs[c] {
+			shared = true
+			if c != ownerCtx && fc.looped[c] {
+				return true // two instances of the same worker
+			}
+		}
+	}
+	if !shared {
+		return true
+	}
+	// Same single context: only a send after the close is suspect.
+	return send.pos.Filename == cl.pos.Filename && send.pos.Line > cl.pos.Line
+}
+
+// writeBaseIdent resolves an assignment target to the identifier whose
+// object the store mutates: selectors and derefs pass through (a field
+// store mutates the base), slice/array index stores are exempt (the
+// sharded-writer idiom — workers own disjoint indices), map index stores
+// count (map internals are never safe to share).
+func writeBaseIdent(p *Package, e ast.Expr) *ast.Ident {
+	for {
+		switch v := unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			tv, ok := p.Info.Types[v.X]
+			if !ok || tv.Type == nil {
+				return nil
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return nil
+			}
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// checkPackageVarsAcrossGoroutines is the module half of the guarded-by
+// rule: a package-level variable written by any function reachable from a
+// goroutine root must hold a consistent guard on every access in
+// goroutine-reachable code. (The per-function pass sees direct accesses in
+// spawning functions; this pass follows the call graph.)
+func checkPackageVarsAcrossGoroutines(pkgs []*Package, g *callGraph, fcs []*funcConc) []Finding {
+	var roots []*types.Func
+	for _, fc := range fcs {
+		roots = append(roots, fc.goroutineCallees...)
+		for _, sp := range fc.spawns {
+			if sp.callee != nil {
+				roots = append(roots, sp.callee)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	reach := g.reachableFrom(roots)
+
+	type pkgAccess struct {
+		pos    token.Position
+		write  bool
+		guards map[guardKey]bool
+	}
+	var order []types.Object
+	accs := map[types.Object][]pkgAccess{}
+	for _, fn := range g.funcs {
+		if !reach[fn] || fn.Name() == "init" {
+			continue
+		}
+		info := g.decls[fn]
+		p := info.pkg
+		guards := guardsOfScope(p, info.decl.Body, nil)
+		writes := map[*ast.Ident]bool{}
+		ast.Inspect(info.decl.Body, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range v.Lhs {
+					if id := writeBaseIdent(p, lhs); id != nil {
+						writes[id] = true
+					}
+				}
+			case *ast.IncDecStmt:
+				if id := writeBaseIdent(p, v.X); id != nil {
+					writes[id] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(info.decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, _ := p.Info.Uses[id].(*types.Var)
+			if obj == nil || obj.IsField() || !isPackageVar(obj) {
+				return true
+			}
+			if isAtomicType(obj.Type()) || syncGuarded(obj.Type()) {
+				return true
+			}
+			if _, ok := accs[obj]; !ok {
+				order = append(order, obj)
+			}
+			accs[obj] = append(accs[obj], pkgAccess{
+				pos: p.Fset.Position(id.Pos()), write: writes[id],
+				guards: guards.heldAt(id.Pos()),
+			})
+			return true
+		})
+	}
+
+	var out []Finding
+	for _, obj := range order {
+		as := accs[obj]
+		wrote := false
+		for _, a := range as {
+			if a.write {
+				wrote = true
+				break
+			}
+		}
+		if !wrote {
+			continue
+		}
+		var required map[guardKey]bool
+		for _, a := range as {
+			if len(a.guards) > 0 {
+				required = a.guards
+				break
+			}
+		}
+		if required == nil {
+			for _, a := range as {
+				if a.write {
+					out = append(out, Finding{
+						Pos:  a.pos,
+						Rule: "concurrency",
+						Msg: fmt.Sprintf("package-level %s is written in goroutine-reachable code with no guard on any access path; "+
+							"protect it with one mutex or sync/atomic (or move it into per-run state)", obj.Name()),
+					})
+					break
+				}
+			}
+			continue
+		}
+		for _, a := range as {
+			if intersects(a.guards, required) {
+				continue
+			}
+			what := "holds no guard"
+			if len(a.guards) > 0 {
+				what = "holds " + describeGuards(a.guards)
+			}
+			out = append(out, Finding{
+				Pos:  a.pos,
+				Rule: "concurrency",
+				Msg: "package-level " + obj.Name() + " is guarded by " + describeGuards(required) +
+					" on its first access path but this access " + what + "; every path must hold the same primitive",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Escape hybrid mode (-escape): the static hot-path audit encodes what the
+// code *says*; the compiler's escape analysis knows what the generated code
+// *does*. This cross-check runs `go build -gcflags=-m` over the module and
+// reports every heap escape the compiler sees inside the hot surface that
+// the static audit did not flag on the same line — the divergences are
+// exactly the allocations a pattern-based audit can miss (a value the
+// compiler moved to the heap because its address outlives the frame, an
+// optimization the compiler declined). The reverse direction is silent by
+// design: the static audit is deliberately conservative (interface boxing
+// is flagged even where the compiler proves it away), so "static says, the
+// compiler disagrees" is the audit erring safe, not a divergence.
+//
+// The verdict depends on the local toolchain's escape analysis, so escape
+// findings never land in goldens or the baseline; the mode is an on-demand
+// second opinion (`mglint -escape`, `make lint-hotpath`).
+
+// escapeMarkers are the -m diagnostics that mean a heap allocation.
+var escapeMarkers = []string{"escapes to heap", "moved to heap"}
+
+// escapeCrossCheck runs the compiler escape analysis and returns the
+// hot-surface divergences. A build failure is itself returned as a finding:
+// an escape audit that silently skipped is worse than a loud one.
+func escapeCrossCheck(root string, pkgs []*Package) []Finding {
+	surface := hotSurfaceOf(pkgs)
+	if len(surface.funcs) == 0 {
+		return nil
+	}
+	// -l disables inlining: with it on, the compiler re-attributes an
+	// inlined callee's allocations to the hot call-site line (the pool-miss
+	// &chunkOp{} inside getOp would surface at the Submit call), making the
+	// cold-region filter useless. Without inlining every diagnostic carries
+	// its true source position.
+	cmd := exec.Command("go", "build", "-gcflags=-m -l", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	diags := parseEscapeDiags(root, string(out))
+	if err != nil && len(diags) == 0 {
+		return []Finding{{
+			Pos:  token.Position{Filename: filepath.Join(root, "go.mod"), Line: 1, Column: 1},
+			Rule: "hotpath-alloc",
+			Msg:  "escape cross-check could not run the compiler: " + firstLine(string(out), err),
+		}}
+	}
+	covered := map[string]map[int]bool{}
+	for _, f := range surface.findings {
+		lines := covered[f.Pos.Filename]
+		if lines == nil {
+			lines = map[int]bool{}
+			covered[f.Pos.Filename] = lines
+		}
+		lines[f.Pos.Line] = true
+	}
+	var found []Finding
+	for _, d := range diags {
+		if !surface.onHotLine(d.pos) {
+			continue
+		}
+		if covered[d.pos.Filename][d.pos.Line] {
+			continue
+		}
+		found = append(found, Finding{
+			Pos:  d.pos,
+			Rule: "hotpath-alloc",
+			Msg:  "escape divergence: the compiler reports " + strconv.Quote(d.msg) + " on the Submit hot path but the static audit has no finding here; fix the allocation or teach the audit its shape",
+		})
+	}
+	return found
+}
+
+// escapeDiag is one parsed -m heap diagnostic.
+type escapeDiag struct {
+	pos token.Position
+	msg string
+}
+
+// parseEscapeDiags extracts heap-escape lines from `go build -gcflags=-m`
+// output. Lines look like `internal/core/pipeline.go:54:9: &chunkOp{...}
+// escapes to heap`, with paths relative to the module root.
+func parseEscapeDiags(root, out string) []escapeDiag {
+	var diags []escapeDiag
+	for _, line := range strings.Split(out, "\n") {
+		marker := ""
+		for _, m := range escapeMarkers {
+			if strings.Contains(line, m) {
+				marker = m
+				break
+			}
+		}
+		if marker == "" {
+			continue
+		}
+		parts := strings.SplitN(strings.TrimSpace(line), ":", 4)
+		if len(parts) != 4 {
+			continue
+		}
+		ln, err1 := strconv.Atoi(parts[1])
+		col, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		file := parts[0]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(root, file)
+		}
+		diags = append(diags, escapeDiag{
+			pos: token.Position{Filename: file, Line: ln, Column: col},
+			msg: strings.TrimSpace(parts[3]),
+		})
+	}
+	return diags
+}
+
+// onHotLine reports whether a source position falls on the hot surface: in
+// some hot function's body and outside its cold regions. Matching is by
+// line, the resolution the compiler reports at.
+func (s *hotSurface) onHotLine(pos token.Position) bool {
+	for _, hf := range s.funcs {
+		fset := hf.p.Fset
+		from := fset.Position(hf.decl.Body.Pos())
+		to := fset.Position(hf.decl.Body.End())
+		if from.Filename != pos.Filename || pos.Line < from.Line || pos.Line > to.Line {
+			continue
+		}
+		coldHit := false
+		for _, r := range hf.cold {
+			cf := fset.Position(r.from)
+			ct := fset.Position(r.to)
+			afterFrom := pos.Line > cf.Line || (pos.Line == cf.Line && pos.Column >= cf.Column)
+			beforeTo := pos.Line < ct.Line || (pos.Line == ct.Line && pos.Column < ct.Column)
+			if afterFrom && beforeTo {
+				coldHit = true
+				break
+			}
+		}
+		return !coldHit
+	}
+	return false
+}
+
+// firstLine compresses command output (or its error) to one line.
+func firstLine(out string, err error) string {
+	for _, l := range strings.Split(out, "\n") {
+		if l = strings.TrimSpace(l); l != "" {
+			return l
+		}
+	}
+	return err.Error()
+}

@@ -20,6 +20,8 @@ var fixtureRules = map[string][]string{
 	"unitflow":    {"unit-flow"},
 	"determinism": {"determinism"},
 	"probes":      {"probe-discipline"},
+	"concurrency": {"concurrency"},
+	"hotpath":     {"hotpath-alloc"},
 }
 
 // TestFixtures lints every testdata mini-module and compares the findings
@@ -76,8 +78,8 @@ func TestFixtures(t *testing.T) {
 			}
 		})
 	}
-	if ran < 6 {
-		t.Errorf("only %d fixtures ran, want at least 6", ran)
+	if ran < 10 {
+		t.Errorf("only %d fixtures ran, want at least 10", ran)
 	}
 }
 

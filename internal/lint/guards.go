@@ -1,0 +1,274 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Guarded-by inference: the lock-discipline half of the concurrency rule.
+// For every access to shared state the analyzer asks "which synchronization
+// primitive is held here?" and requires every access path to one object to
+// agree on the answer — the first primitive observed becomes the object's
+// inferred guard, and an access that holds nothing (or something else) is a
+// finding. The inference is deliberately flow-insensitive within a scope:
+// a Lock() textually before the access with a matching Unlock() textually
+// after it (or deferred) counts as held. That is exactly the discipline the
+// codebase writes by convention (lock/work/unlock in straight line, or
+// lock + defer unlock), so anything the approximation misses is code that
+// deserves a second look anyway.
+
+// guardKey names one synchronization primitive: the rendered selector path
+// of a mutex ("mu", "c.mu") or the pseudo-guards "atomic" and "once".
+type guardKey = string
+
+// guardAtomic is the guard key of sync/atomic accesses.
+const guardAtomic guardKey = "atomic"
+
+// lockEvent is one mutex Lock/Unlock call in a scope, in source order.
+type lockEvent struct {
+	pos     token.Pos
+	key     guardKey
+	lock    bool // Lock/RLock (true) or Unlock/RUnlock (false)
+	defered bool // deferred calls release at return, not at their position
+}
+
+// scopeGuards is the per-scope lock-event index used to answer heldAt
+// queries for every access in that scope.
+type scopeGuards struct {
+	events []lockEvent
+}
+
+// guardsOfScope scans one scope body (a function or goroutine-root closure
+// body) for mutex lock/unlock calls, skipping nested scopes via skip.
+func guardsOfScope(p *Package, body *ast.BlockStmt, skip func(ast.Node) bool) *scopeGuards {
+	sg := &scopeGuards{}
+	var walk func(n ast.Node, defered bool)
+	walk = func(n ast.Node, defered bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == nil || (skip != nil && skip(m)) {
+				return m == nil
+			}
+			switch v := m.(type) {
+			case *ast.DeferStmt:
+				walk(v.Call, true)
+				return false
+			case *ast.CallExpr:
+				if key, lock, ok := mutexCall(p, v); ok {
+					sg.events = append(sg.events, lockEvent{pos: v.Pos(), key: key, lock: lock, defered: defered})
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	return sg
+}
+
+// heldAt returns the guard keys held at pos: every mutex with a
+// non-deferred Lock before pos whose most recent event before pos is still
+// a Lock, provided an Unlock (positional or deferred) exists at all — a
+// Lock with no release is its own bug, but not this rule's.
+func (sg *scopeGuards) heldAt(pos token.Pos) map[guardKey]bool {
+	type state struct {
+		held      bool
+		canUnlock bool
+	}
+	st := map[guardKey]*state{}
+	for _, ev := range sg.events {
+		s := st[ev.key]
+		if s == nil {
+			s = &state{}
+			st[ev.key] = s
+		}
+		if !ev.lock {
+			s.canUnlock = true
+		}
+		if ev.defered {
+			continue // executes at return; never changes held-ness mid-body
+		}
+		if ev.pos >= pos {
+			continue
+		}
+		s.held = ev.lock
+	}
+	held := map[guardKey]bool{}
+	for key, s := range st {
+		if s.held && s.canUnlock {
+			held[key] = true
+		}
+	}
+	return held
+}
+
+// mutexCall classifies a call as a mutex Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex/RWMutex-typed receiver and returns its guard key.
+func mutexCall(p *Package, call *ast.CallExpr) (guardKey, bool, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	var lock bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		lock = true
+	case "Unlock", "RUnlock":
+		lock = false
+	default:
+		return "", false, false
+	}
+	if !isSyncMutex(p, sel.X) {
+		return "", false, false
+	}
+	return renderGuardPath(sel.X), lock, true
+}
+
+// isSyncMutex reports whether the expression's type is sync.Mutex or
+// sync.RWMutex (through one pointer).
+func isSyncMutex(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// isWaitGroup reports whether the expression's type is sync.WaitGroup.
+func isWaitGroup(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// renderGuardPath renders a mutex expression as a stable selector path
+// ("mu", "c.mu", "e.stats.mu"). The path is compared textually: two
+// spellings of the same mutex through different receivers ("c.mu" vs
+// "m.mu") read as different guards, which errs on the side of reporting —
+// the fix is naming one canonical accessor, which also reads better.
+func renderGuardPath(e ast.Expr) string {
+	switch v := unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return renderGuardPath(v.X) + "." + v.Sel.Name
+	case *ast.StarExpr:
+		return renderGuardPath(v.X)
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			return renderGuardPath(v.X)
+		}
+	}
+	return "?"
+}
+
+// atomicGuardedExpr reports whether expr is accessed through a sync/atomic
+// call in call (e.g. atomic.AddUint64(&x, 1) guards x).
+func atomicCallTarget(p *Package, call *ast.CallExpr) (types.Object, bool) {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil, false
+	}
+	if len(call.Args) == 0 {
+		return nil, false
+	}
+	u, ok := unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil, false
+	}
+	return lhsObject(p, u.X), true
+}
+
+// isAtomicType reports whether a type lives in sync or sync/atomic (its
+// own methods synchronize every access).
+func isAtomicType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && (pkg.Path() == "sync" || pkg.Path() == "sync/atomic")
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// referencesContext reports whether any identifier used under n carries a
+// context.Context value — the evidence that a worker can be cancelled.
+func referencesContext(p *Package, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if v, ok := obj.(*types.Var); ok && isContextType(v.Type()) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isChanType reports whether the expression has channel type.
+func chanObject(p *Package, e ast.Expr) types.Object {
+	obj := lhsObject(p, e)
+	if obj == nil {
+		return nil
+	}
+	if _, ok := obj.Type().Underlying().(*types.Chan); !ok {
+		return nil
+	}
+	return obj
+}
+
+// describeGuards renders a guard set for a message ("mu" / "mu and c.mu").
+func describeGuards(gs map[guardKey]bool) string {
+	var keys []string
+	for k := range gs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, " and ")
+}

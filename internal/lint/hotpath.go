@@ -1,0 +1,576 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPathAlloc is the module-wide hot-path allocation rule family: a static
+// escape/alloc audit of everything reachable from the pooled pipeline's
+// Submit path. PR 5 made the probe-off steady state allocate nothing — one
+// benchmark test guards that dynamically; this rule proves it structurally,
+// so a stray closure or fmt call cannot slip in behind a build tag that
+// skips the test. Flagged on the hot surface:
+//
+//   - composite-literal and new/make allocations (&T{}, []T{...}, map
+//     literals) — pooled state must come from the free list;
+//   - closures and method-value expressions — callbacks are bound once at
+//     the pool-miss constructor, never per request;
+//   - append to a function-local slice — growth must land in engine-owned
+//     scratch fields or caller-provided capacity;
+//   - interface boxing at call arguments and assignments;
+//   - fmt/errors/strconv calls and string building (concatenation,
+//     string<->[]byte conversions).
+//
+// The audit understands the codebase's three sanctioned cold shapes and
+// skips them: constant-false guards (`if check.Enabled { ... }`),
+// interface-nil probe gates (`if e.prb == nil { return }` — everything
+// after runs only with observability on), and pointer-nil pool-miss
+// constructors (`if op == nil { op = &chunkOp{...} ... }` — the one place
+// allocation is the point). A pointer != nil guard stays hot: `if e.table
+// != nil` gates real switching work, not a slow path.
+type HotPathAlloc struct{}
+
+// Name implements Analyzer.
+func (*HotPathAlloc) Name() string { return "hotpath-alloc" }
+
+// Doc implements Analyzer.
+func (*HotPathAlloc) Doc() string {
+	return "no allocation reachable from the pooled Submit path outside pool-miss constructors and probe-on branches (dataflow)"
+}
+
+// Check implements Analyzer; the audit only runs module-wide.
+func (*HotPathAlloc) Check(p *Package) []Finding { return nil }
+
+// CheckModule implements ModuleAnalyzer.
+func (*HotPathAlloc) CheckModule(pkgs []*Package) []Finding {
+	return hotSurfaceOf(pkgs).findings
+}
+
+// posRange is one half-open source region [from, to).
+type posRange struct{ from, to token.Pos }
+
+func (r posRange) contains(p token.Pos) bool { return p >= r.from && p < r.to }
+
+// hotFuncInfo is one function on the hot surface with its cold regions.
+type hotFuncInfo struct {
+	p    *Package
+	decl *ast.FuncDecl
+	cold []posRange
+}
+
+// hotSurface is the audited call closure of the Submit path.
+type hotSurface struct {
+	funcs    []hotFuncInfo
+	findings []Finding
+}
+
+// hotSurfaceOf computes the hot surface — every declared function reachable
+// from core's Submit through calls that do not sit in a cold region — and
+// audits it for allocation sites.
+func hotSurfaceOf(pkgs []*Package) *hotSurface {
+	g := buildCallGraph(pkgs)
+	var queue []*types.Func
+	for _, fn := range g.funcs {
+		if fn.Name() == "Submit" && strings.HasSuffix(g.decls[fn].pkg.Path, "/internal/core") {
+			queue = append(queue, fn)
+		}
+	}
+	s := &hotSurface{}
+	if len(queue) == 0 {
+		return s
+	}
+	seen := map[*types.Func]bool{}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if seen[fn] {
+			continue
+		}
+		seen[fn] = true
+		info, ok := g.decls[fn]
+		if !ok {
+			continue // declared outside the module (or interface method)
+		}
+		hf := hotFuncInfo{p: info.pkg, decl: info.decl, cold: coldRangesOf(info.pkg, info.decl.Body)}
+		s.funcs = append(s.funcs, hf)
+		inspectHot(hf, func(n ast.Node, stack []ast.Node) {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := calleeFunc(hf.p, call); callee != nil && !seen[callee] {
+					if _, declared := g.decls[callee]; declared {
+						queue = append(queue, callee)
+					}
+				}
+			}
+		})
+	}
+	for _, hf := range s.funcs {
+		s.findings = append(s.findings, auditAllocs(hf)...)
+	}
+	return s
+}
+
+// coldRangesOf classifies the sanctioned slow-path regions of a body:
+//
+//   - a branch selected away by a constant condition (check.Enabled);
+//   - the body of `if X != nil` for interface-typed X (probe-on branch);
+//   - everything after `if X == nil { ...return }` for interface-typed X
+//     (the remainder runs only with the probe attached);
+//   - the body of `if P == nil` for pointer or slice-typed P (the pool-miss
+//     constructor — the one shape allowed to allocate);
+//   - panic call arguments — a panicking hot path is already dead, so the
+//     message formatting may allocate.
+//
+// `if P != nil` for pointer P is NOT cold: that shape gates real hot work
+// (granularity-table switching behind `if e.table != nil`).
+func coldRangesOf(p *Package, body *ast.BlockStmt) []posRange {
+	var cold []posRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+				cold = append(cold, posRange{call.Pos(), call.End()})
+				return false
+			}
+		}
+		return true
+	})
+	var walkBlock func(b *ast.BlockStmt)
+	classify := func(ifs *ast.IfStmt, rest posRange) {
+		cond := unparen(ifs.Cond)
+		if tv, ok := p.Info.Types[cond]; ok && tv.Value != nil {
+			// Constant condition: one arm is dead code in this build.
+			if constTrue(tv) {
+				if ifs.Else != nil {
+					cold = append(cold, posRange{ifs.Else.Pos(), ifs.Else.End()})
+				}
+			} else {
+				cold = append(cold, posRange{ifs.Body.Pos(), ifs.Body.End()})
+			}
+			return
+		}
+		be, ok := cond.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return
+		}
+		x, isNilCompare := nilCompareOperand(p, be)
+		if !isNilCompare {
+			return
+		}
+		tv, ok := p.Info.Types[x]
+		if !ok || tv.Type == nil {
+			return
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Interface:
+			if be.Op == token.NEQ {
+				cold = append(cold, posRange{ifs.Body.Pos(), ifs.Body.End()})
+			} else if terminates(ifs.Body) {
+				cold = append(cold, rest)
+			}
+		case *types.Pointer, *types.Slice, *types.Map:
+			if be.Op == token.EQL {
+				cold = append(cold, posRange{ifs.Body.Pos(), ifs.Body.End()})
+			}
+		}
+	}
+	walkBlock = func(b *ast.BlockStmt) {
+		for i, st := range b.List {
+			ifs, ok := st.(*ast.IfStmt)
+			if !ok {
+				ast.Inspect(st, func(n ast.Node) bool {
+					if nb, ok := n.(*ast.BlockStmt); ok && nb != b {
+						walkBlock(nb)
+						return false
+					}
+					return true
+				})
+				continue
+			}
+			rest := posRange{ifs.End(), b.End()}
+			_ = i
+			classify(ifs, rest)
+			walkBlock(ifs.Body)
+			if eb, ok := ifs.Else.(*ast.BlockStmt); ok {
+				walkBlock(eb)
+			}
+		}
+	}
+	walkBlock(body)
+	return cold
+}
+
+// constTrue reports whether a constant-valued condition is true.
+func constTrue(tv types.TypeAndValue) bool {
+	return tv.Value.String() == "true"
+}
+
+// nilCompareOperand returns the non-nil side of an X ==/!= nil comparison.
+func nilCompareOperand(p *Package, be *ast.BinaryExpr) (ast.Expr, bool) {
+	if isNilExpr(p, be.Y) {
+		return unparen(be.X), true
+	}
+	if isNilExpr(p, be.X) {
+		return unparen(be.Y), true
+	}
+	return nil, false
+}
+
+func isNilExpr(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[unparen(e)]
+	return ok && tv.Type != nil && tv.Type == types.Typ[types.UntypedNil]
+}
+
+// terminates reports whether a block always leaves the enclosing function.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	}
+	return false
+}
+
+// inspectHot walks a hot function's body with a parent stack, skipping the
+// cold regions entirely.
+func inspectHot(hf hotFuncInfo, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(hf.decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		for _, r := range hf.cold {
+			if r.contains(n.Pos()) {
+				return false
+			}
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+	_ = stack
+}
+
+// auditAllocs reports the allocation sites in one hot function.
+func auditAllocs(hf hotFuncInfo) []Finding {
+	p := hf.p
+	params := paramObjects(p, hf.decl)
+	for obj := range scratchLocals(p, hf.decl, params) {
+		params[obj] = true
+	}
+	var out []Finding
+	report := func(n ast.Node, msg string) {
+		out = append(out, Finding{Pos: p.Fset.Position(n.Pos()), Rule: "hotpath-alloc", Msg: "hot path: " + msg})
+	}
+	inspectHot(hf, func(n ast.Node, stack []ast.Node) {
+		switch v := n.(type) {
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				if _, ok := unparen(v.X).(*ast.CompositeLit); ok {
+					report(v, "&composite literal allocates per request; take it from the pool (allocate only in the `== nil` pool-miss branch)")
+				}
+			}
+		case *ast.CompositeLit:
+			tv, ok := p.Info.Types[v]
+			if !ok || tv.Type == nil {
+				return
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				report(v, "slice literal allocates per request; reuse an engine scratch slice")
+			case *types.Map:
+				report(v, "map literal allocates per request; preallocate it in the constructor")
+			}
+		case *ast.FuncLit:
+			report(v, "closure allocates per request; bind a method value once at the pool-miss constructor and reuse it")
+		case *ast.SelectorExpr:
+			if isMethodValue(p, v, stack) {
+				report(v, "method value creates a closure per request; bind it once at the pool-miss constructor and store it in a field")
+			}
+		case *ast.BinaryExpr:
+			if v.Op == token.ADD && isStringExpr(p, v.X) {
+				report(v, "string concatenation allocates; hot-path results must stay numeric or preformatted")
+			}
+		case *ast.AssignStmt:
+			out = append(out, auditBoxingAssign(p, v)...)
+		case *ast.CallExpr:
+			out = append(out, auditCall(p, v, params)...)
+		}
+	})
+	return out
+}
+
+// paramObjects collects the receiver and parameter objects of a declaration
+// (their slices are caller-owned scratch, safe to append to).
+func paramObjects(p *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := p.Info.Defs[name]; obj != nil {
+					objs[obj] = true
+				}
+			}
+		}
+	}
+	add(fd.Recv)
+	add(fd.Type.Params)
+	return objs
+}
+
+// scratchLocals finds locals that alias engine/caller-owned scratch: a
+// variable initialized (or reassigned) from a slice expression whose base
+// is a field, parameter, or another scratch local — `out := e.macLines[:0]`
+// is the same discipline as appending to the field directly, so its growth
+// is pool-amortized, not per-request. One source-order pass resolves the
+// idiom; the convention writes the alias before using it.
+func scratchLocals(p *Package, fd *ast.FuncDecl, params map[types.Object]bool) map[types.Object]bool {
+	scratch := map[types.Object]bool{}
+	var owned func(e ast.Expr) bool
+	owned = func(e ast.Expr) bool {
+		switch v := unparen(e).(type) {
+		case *ast.Ident:
+			obj := lhsObject(p, v)
+			if obj == nil {
+				return false
+			}
+			if ov, ok := obj.(*types.Var); ok && (ov.IsField() || isPackageVar(ov)) {
+				return true
+			}
+			return params[obj] || scratch[obj]
+		case *ast.SelectorExpr:
+			return true // field access: engine-owned
+		case *ast.SliceExpr:
+			return owned(v.X)
+		case *ast.IndexExpr:
+			return owned(v.X)
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			rhs := unparen(as.Rhs[i])
+			if _, isSlice := rhs.(*ast.SliceExpr); !isSlice {
+				continue
+			}
+			if !owned(rhs) {
+				continue
+			}
+			if obj := lhsObject(p, lhs); obj != nil {
+				scratch[obj] = true
+			}
+		}
+		return true
+	})
+	return scratch
+}
+
+// isMethodValue reports whether sel is a method used as a value (not
+// immediately called) — the compiler materializes a bound-method closure.
+func isMethodValue(p *Package, sel *ast.SelectorExpr, stack []ast.Node) bool {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch v := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.CallExpr:
+			return unparen(v.Fun) != sel
+		default:
+			return true
+		}
+	}
+	return true
+}
+
+func isStringExpr(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// auditBoxingAssign flags assignments that box a concrete value into an
+// interface-typed destination.
+func auditBoxingAssign(p *Package, as *ast.AssignStmt) []Finding {
+	if len(as.Lhs) != len(as.Rhs) {
+		return nil
+	}
+	var out []Finding
+	for i, lhs := range as.Lhs {
+		lt, ok := p.Info.Types[lhs]
+		if !ok || lt.Type == nil {
+			continue
+		}
+		if _, isIface := lt.Type.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		if boxes(p, as.Rhs[i]) {
+			out = append(out, Finding{
+				Pos:  p.Fset.Position(as.Rhs[i].Pos()),
+				Rule: "hotpath-alloc",
+				Msg:  "hot path: assignment boxes a concrete value into an interface; keep hot-path state concretely typed",
+			})
+		}
+	}
+	return out
+}
+
+// auditCall flags allocating builtins, fmt/string machinery, growing
+// appends, and interface boxing at call arguments.
+func auditCall(p *Package, call *ast.CallExpr, params map[types.Object]bool) []Finding {
+	var out []Finding
+	report := func(n ast.Node, msg string) {
+		out = append(out, Finding{Pos: p.Fset.Position(n.Pos()), Rule: "hotpath-alloc", Msg: "hot path: " + msg})
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "new":
+				report(call, "new allocates per request; take the object from the pool")
+			case "make":
+				report(call, "make allocates per request; preallocate in the constructor and reslice to zero length")
+			case "append":
+				if len(call.Args) > 0 && localScratch(p, call.Args[0], params) {
+					report(call, "append to a function-local slice can grow per request; append into an engine scratch field or caller-provided capacity")
+				}
+			}
+			return out
+		}
+	}
+	// Conversions: string building allocates; conversions to interface box.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type.Underlying()
+		from, okf := p.Info.Types[call.Args[0]]
+		if okf && from.Type != nil {
+			if isStringByteConversion(to, from.Type.Underlying()) {
+				report(call, "string<->[]byte conversion copies and allocates; keep one representation on the hot path")
+			}
+			if _, isIface := to.(*types.Interface); isIface && boxes(p, call.Args[0]) {
+				report(call, "conversion boxes a concrete value into an interface; keep hot-path state concretely typed")
+			}
+		}
+		return out
+	}
+	if fn := calleeFunc(p, call); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt", "errors", "strconv":
+			report(call, fn.Pkg().Name()+"."+fn.Name()+" allocates (formatting machinery); hot-path accounting must stay numeric")
+			return out
+		}
+	}
+	// Interface boxing at arguments.
+	sigTV, ok := p.Info.Types[call.Fun]
+	if !ok || sigTV.Type == nil {
+		return out
+	}
+	sig, ok := sigTV.Type.Underlying().(*types.Signature)
+	if !ok {
+		return out
+	}
+	pars := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= pars.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // passing a ready slice, no per-element boxing here
+			}
+			if sl, ok := pars.At(pars.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < pars.Len():
+			pt = pars.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		if boxes(p, arg) {
+			report(arg, "argument boxes a concrete value into an interface parameter; give the callee a concrete type or move the call off the hot path")
+		}
+	}
+	return out
+}
+
+// boxes reports whether passing/assigning e to an interface destination
+// materializes an interface value: a concrete, non-nil, non-interface
+// operand. Constants stay flagged — an int constant still boxes at runtime
+// unless it hits the runtime's small-int cache, which is not a contract.
+func boxes(p *Package, e ast.Expr) bool {
+	if isNilExpr(p, e) {
+		return false
+	}
+	tv, ok := p.Info.Types[unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isIface := tv.Type.Underlying().(*types.Interface)
+	return !isIface
+}
+
+// localScratch reports whether the append destination bottoms out in a
+// variable local to the function (not a parameter, receiver, or field) —
+// the shape whose growth escapes the pool discipline. Fields (`op.serial`)
+// and parameters (`dst`) are engine- or caller-owned scratch.
+func localScratch(p *Package, e ast.Expr, params map[types.Object]bool) bool {
+	switch v := unparen(e).(type) {
+	case *ast.Ident:
+		obj, okUse := p.Info.Uses[v].(*types.Var)
+		if !okUse {
+			if d, okDef := p.Info.Defs[v].(*types.Var); okDef {
+				obj = d
+			}
+		}
+		if obj == nil || obj.IsField() {
+			return false
+		}
+		if params[obj] || isPackageVar(obj) {
+			return false
+		}
+		return true
+	case *ast.IndexExpr:
+		return localScratch(p, v.X, params)
+	}
+	// Selector-based destinations are fields: engine scratch by convention.
+	return false
+}
+
+// isStringByteConversion reports whether a conversion moves between string
+// and []byte/[]rune.
+func isStringByteConversion(to, from types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isBytes := func(t types.Type) bool {
+		sl, ok := t.(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := sl.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+	}
+	return (isStr(to) && isBytes(from)) || (isBytes(to) && isStr(from))
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEscapeHybridDivergence proves the -escape cross-check catches what
+// the static audit cannot: hotpath_bad's leak() hands a local's address to
+// package state, a heap move with no allocation-shaped syntax. The static
+// golden has no finding there; the hybrid run must add the divergence.
+func TestEscapeHybridDivergence(t *testing.T) {
+	requireGo(t)
+	fs, err := Run(filepath.Join("testdata", "hotpath_bad"), Options{Rules: []string{"hotpath-alloc"}, Escape: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var divergence *Finding
+	static := 0
+	for i := range fs {
+		if strings.Contains(fs[i].Msg, "escape divergence") {
+			divergence = &fs[i]
+		} else {
+			static++
+		}
+	}
+	if divergence == nil {
+		t.Fatalf("no escape-divergence finding in hybrid run; got %d findings", len(fs))
+	}
+	if !strings.Contains(divergence.Msg, "moved to heap") {
+		t.Errorf("divergence finding does not carry the compiler diagnostic: %s", divergence.Msg)
+	}
+	if filepath.Base(divergence.Pos.Filename) != "core.go" {
+		t.Errorf("divergence reported in %s, want core.go", divergence.Pos.Filename)
+	}
+	if static == 0 {
+		t.Error("hybrid run dropped the static findings")
+	}
+}
+
+// TestEscapeHybridCleanAgrees runs the hybrid mode over the clean twin:
+// every compiler-reported escape there sits in a sanctioned cold region
+// (pool-miss constructor, probe-on branch, panic argument), so the static
+// audit and the compiler must agree on silence.
+func TestEscapeHybridCleanAgrees(t *testing.T) {
+	requireGo(t)
+	fs, err := Run(filepath.Join("testdata", "hotpath_clean"), Options{Rules: []string{"hotpath-alloc"}, Escape: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Errorf("clean fixture diverged under -escape:\n%v", fs)
+	}
+}
+
+// TestJSONByteIdentical asserts the acceptance contract directly: two
+// independent runs of the new module-wide families over the same tree must
+// serialize to byte-identical JSON.
+func TestJSONByteIdentical(t *testing.T) {
+	rules := []string{"concurrency", "hotpath-alloc"}
+	encode := func() []byte {
+		t.Helper()
+		var all []Finding
+		for _, dir := range []string{"concurrency_bad", "hotpath_bad"} {
+			fs, err := Run(filepath.Join("testdata", dir), Options{Rules: rules})
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, fs...)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, all); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := encode(), encode()
+	if !bytes.Equal(a, b) {
+		t.Errorf("JSON output differs between runs:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+}
+
+func requireGo(t *testing.T) {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH; escape hybrid mode needs the compiler")
+	}
+}

@@ -62,6 +62,8 @@ func Analyzers() []Analyzer {
 		&UnitFlow{},
 		&Determinism{},
 		&ProbeDiscipline{},
+		&Concurrency{},
+		&HotPathAlloc{},
 	}
 }
 
@@ -81,6 +83,9 @@ type Options struct {
 	Load LoadOptions
 	// Rules restricts the rule set (nil = all).
 	Rules []string
+	// Escape enables the hot-path escape hybrid mode: cross-check the
+	// static alloc audit against `go build -gcflags=-m` diagnostics.
+	Escape bool
 }
 
 // Run lints the module containing root and returns unsuppressed findings
@@ -95,7 +100,11 @@ func Run(root string, opts Options) ([]Finding, error) {
 	if err != nil {
 		return nil, err
 	}
-	fs, err := Check(pkgs, opts.Rules)
+	escapeRoot := ""
+	if opts.Escape {
+		escapeRoot = absRoot
+	}
+	fs, _, err := check(pkgs, opts.Rules, false, escapeRoot)
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +122,7 @@ func RunAudit(root string, load LoadOptions) (findings, stale []Finding, err err
 	if err != nil {
 		return nil, nil, err
 	}
-	findings, stale, err = check(pkgs, nil, true)
+	findings, stale, err = check(pkgs, nil, true, "")
 	if err != nil {
 		return nil, nil, err
 	}
@@ -131,7 +140,7 @@ func RelativeTo(fs []Finding, root string) []Finding {
 
 // Check runs the (optionally restricted) rule set over loaded packages.
 func Check(pkgs []*Package, rules []string) ([]Finding, error) {
-	fs, _, err := check(pkgs, rules, false)
+	fs, _, err := check(pkgs, rules, false, "")
 	return fs, err
 }
 
@@ -140,8 +149,10 @@ func Check(pkgs []*Package, rules []string) ([]Finding, error) {
 // suppressions (marking the directives that fired), and returns the
 // survivors sorted and deduplicated. With audit set, unused directives are
 // returned as stale findings — meaningful only when every rule ran, which
-// the caller must ensure (RunAudit passes rules=nil).
-func check(pkgs []*Package, rules []string, audit bool) (findings, stale []Finding, err error) {
+// the caller must ensure (RunAudit passes rules=nil). A non-empty
+// escapeRoot additionally runs the compiler escape cross-check from that
+// module root when the hot-path rule is in the set.
+func check(pkgs []*Package, rules []string, audit bool, escapeRoot string) (findings, stale []Finding, err error) {
 	var analyzers []Analyzer
 	if len(rules) == 0 {
 		analyzers = Analyzers()
@@ -173,10 +184,27 @@ func check(pkgs []*Package, rules []string, audit bool) (findings, stale []Findi
 			}
 		}
 	}
+	if escapeRoot != "" && ruleEnabled(analyzers, "hotpath-alloc") {
+		for _, f := range escapeCrossCheck(escapeRoot, pkgs) {
+			if !sup.covers(f) {
+				out = append(out, f)
+			}
+		}
+	}
 	if audit {
 		stale = sup.stale()
 	}
 	return sortFindings(out), sortFindings(stale), nil
+}
+
+// ruleEnabled reports whether the resolved analyzer set contains a rule.
+func ruleEnabled(analyzers []Analyzer, name string) bool {
+	for _, a := range analyzers {
+		if a.Name() == name {
+			return true
+		}
+	}
+	return false
 }
 
 // sortFindings orders by (file, line, col, rule) and drops exact

@@ -1,0 +1,114 @@
+// Package hetero is an adversarial miniature of the parallel sweep: every
+// concurrency-rule violation class, one per function, next to the guarded
+// accesses that must stay silent.
+package hetero
+
+import "sync"
+
+// hits is package-level shared state written from goroutine-reachable code
+// with no guard anywhere — the module-wide half of the guarded-by rule.
+var hits int
+
+func bump() { hits++ }
+
+// SweepParallel captures two counters in looped workers: total is written
+// bare (finding), guarded holds mu on every access path (silent).
+func SweepParallel(n int) int {
+	total := 0
+	guarded := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total++
+			mu.Lock()
+			guarded++
+			mu.Unlock()
+			bump()
+		}()
+	}
+	mu.Lock()
+	guarded++
+	mu.Unlock()
+	wg.Wait()
+	return total + guarded
+}
+
+// Mismatch guards x with mu on one path and other on the second: the
+// lattice infers mu from the first path and reports the disagreement.
+func Mismatch() int {
+	var mu sync.Mutex
+	var other sync.Mutex
+	x := 0
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		x++
+		mu.Unlock()
+	}()
+	go func() {
+		defer wg.Done()
+		other.Lock()
+		x++
+		other.Unlock()
+	}()
+	wg.Wait()
+	return x
+}
+
+// Worker spawns a looping consumer that never consults a context, so no
+// future service can cancel it. The mu-guarded sum itself is consistent.
+func Worker(jobs chan int) int {
+	sum := 0
+	var mu sync.Mutex
+	done := make(chan struct{})
+	go func() {
+		for j := range jobs {
+			mu.Lock()
+			sum += j
+			mu.Unlock()
+		}
+		close(done)
+	}()
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	return sum
+}
+
+// CloseRace closes a channel the spawned goroutine is still sending on —
+// nothing orders the send before the close.
+func CloseRace() {
+	ch := make(chan int, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ch <- 1
+	}()
+	close(ch)
+	wg.Wait()
+}
+
+// MissingAdd calls Done in the goroutine with no Add before the go
+// statement: Wait can return before the goroutine is counted.
+func MissingAdd() {
+	var wg sync.WaitGroup
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// AddInside raises the counter from inside the goroutine it counts: Wait
+// can observe zero before the goroutine runs.
+func AddInside(wg *sync.WaitGroup) {
+	go func() {
+		wg.Add(1)
+		defer wg.Done()
+	}()
+}

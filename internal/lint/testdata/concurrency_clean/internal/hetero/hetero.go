@@ -1,0 +1,65 @@
+// Package hetero is the clean twin of concurrency_bad: the same shapes —
+// looped workers, shared counters, package-level state, channel shutdown,
+// WaitGroup accounting — written with the discipline the rule enforces.
+// Every line here must stay silent.
+package hetero
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// ops synchronizes itself: sync/atomic types are exempt by construction.
+var ops atomic.Uint64
+
+// memoed is package-level state, but every access path (through lookup,
+// reachable from the workers) holds memoMu.
+var (
+	memoMu sync.Mutex
+	memoed = map[string]int{}
+)
+
+func lookup(k string) int {
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	v := memoed[k]
+	memoed[k] = v + 1
+	return v
+}
+
+// SweepParallel exercises the sanctioned idioms: index-sharded result
+// writes (workers own disjoint slots), one mutex on the shared counter,
+// atomic ops, Add-before-go, close-after-all-sends, ctx-checked workers.
+func SweepParallel(ctx context.Context, n, workers int) []int {
+	results := make([]int, n)
+	shared := 0
+	var mu sync.Mutex
+	jobs := make(chan int, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if ctx.Err() != nil {
+					continue
+				}
+				results[j] = j * j
+				mu.Lock()
+				shared += lookup("total")
+				mu.Unlock()
+				ops.Add(1)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	results[0] += shared
+	return results
+}

@@ -1,0 +1,3 @@
+module unimem
+
+go 1.22

@@ -1,0 +1,70 @@
+// Package core is an adversarial miniature of the pooled pipeline: every
+// allocation class the hotpath-alloc family audits, planted on the Submit
+// path, plus one heap move only the compiler sees (the -escape hybrid's
+// divergence case).
+package core
+
+import "fmt"
+
+// sink keeps an address-taken local alive so the compiler's escape
+// analysis moves it to the heap. The static audit has no finding on that
+// line — the -escape cross-check must report the divergence.
+var sink *uint64
+
+type op struct {
+	e       *Engine
+	serial  []uint64
+	childFn func(int)
+}
+
+func (o *op) child(int) {}
+
+// Engine is the pipeline front end; Submit is the audited hot root.
+type Engine struct {
+	Requests uint64
+}
+
+// Request is one protection request.
+type Request struct {
+	Addr uint64
+	Size int
+	Name string
+}
+
+// Submit allocates in every way the audit knows how to flag.
+func (e *Engine) Submit(r Request, done func(int)) {
+	o := &op{e: e}
+	o.childFn = o.child
+	cb := func(t int) { done(t) }
+	local := []uint64{r.Addr}
+	local = append(local, r.Addr)
+	buf := make([]uint64, r.Size)
+	var boxed any
+	boxed = r
+	e.consume(boxed)
+	e.consume(r.Addr)
+	name := "req " + r.Name
+	raw := []byte(name)
+	e.log(r)
+	e.leak()
+	_ = cb
+	_ = local
+	_ = buf
+	_ = raw
+	o.childFn(0)
+}
+
+func (e *Engine) consume(v any) {}
+
+// log drags fmt onto the hot surface through a callee.
+func (e *Engine) log(r Request) {
+	msg := fmt.Sprintf("submit %d", r.Addr)
+	_ = msg
+}
+
+// leak hands a local's address to package state: the compiler moves x to
+// the heap, the static audit sees no allocation shape here.
+func (e *Engine) leak() {
+	x := e.Requests
+	sink = &x
+}

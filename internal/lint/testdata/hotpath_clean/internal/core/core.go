@@ -1,0 +1,95 @@
+// Package core is the clean twin of hotpath_bad: the same pipeline shape
+// written with the pool discipline the audit enforces — pool-miss
+// constructors behind == nil, engine-owned scratch, constant-false debug
+// blocks, interface-nil probe gates, panic-only formatting. The golden for
+// this fixture is empty.
+package core
+
+// probe is the observability seam; Event takes any so a hot call would box.
+type probe interface {
+	Event(v any)
+}
+
+type op struct {
+	e       *Engine
+	serial  []uint64
+	childFn func(int)
+}
+
+func (o *op) child(int) {}
+
+// debugChecks gates assertion-style work out of release builds.
+const debugChecks = false
+
+// Engine is the pipeline front end with its free list and scratch.
+type Engine struct {
+	prb     probe
+	free    *op
+	scratch []uint64
+	table   *int
+	hits    uint64
+}
+
+// Request is one protection request.
+type Request struct {
+	Addr uint64
+	Size int
+	Name string
+}
+
+// Submit touches every sanctioned cold shape and allocates in none of the
+// hot ones.
+func (e *Engine) Submit(r Request, dst []uint64) []uint64 {
+	if r.Size < 0 {
+		panic("core: negative size for " + r.Name)
+	}
+	o := e.getOp()
+	o.serial = o.serial[:0]
+	o.serial = append(o.serial, r.Addr)
+	scratch := e.scratch[:0]
+	scratch = append(scratch, r.Addr)
+	e.scratch = scratch
+	dst = appendUnits(dst, r.Addr)
+	if debugChecks {
+		msg := "submit " + r.Name
+		_ = msg
+	}
+	if e.table != nil {
+		e.hits++
+	}
+	e.probeIssue(r)
+	o.childFn(0)
+	e.putOp(o)
+	return dst
+}
+
+// getOp is the pool-miss constructor: the == nil branch is the one place
+// allocation is the point.
+func (e *Engine) getOp() *op {
+	o := e.free
+	if o == nil {
+		o = &op{e: e}
+		o.childFn = o.child
+		o.serial = make([]uint64, 0, 8)
+	} else {
+		e.free = nil
+	}
+	return o
+}
+
+func (e *Engine) putOp(o *op) { e.free = o }
+
+// probeIssue boxes r into the probe interface — but only behind the
+// interface-nil gate, so the steady state never reaches it.
+func (e *Engine) probeIssue(r Request) {
+	if e.prb == nil {
+		return
+	}
+	e.prb.Event(r)
+}
+
+// appendUnits grows caller-provided capacity: dst is a parameter, so the
+// append is caller-owned scratch, not a per-request allocation.
+func appendUnits(dst []uint64, addr uint64) []uint64 {
+	return append(dst, addr)
+}
