@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint lint-baseline lint-suppressions lint-sarif lint-hotpath build test test-race test-race-sweep test-invariants fuzz cover bench-smoke
+.PHONY: check fmt vet lint lint-baseline lint-suppressions lint-sarif lint-hotpath build test test-race test-race-sweep attack-soak test-invariants fuzz cover bench-smoke
 
 check: fmt vet lint lint-suppressions build test test-race-sweep
 
@@ -58,6 +58,13 @@ test-race:
 test-race-sweep:
 	$(GO) test -race -run 'TestSweepParallel|TestBestStatic|TestProfileTable' ./internal/hetero/
 
+# Adversarial campaign soak under the race detector: every scheme in the
+# registry crossed with every attack class, randomized schedules, verified
+# against the detection matrix. -short keeps it at reduced scale for CI;
+# scale up locally with e.g. ATTACK_SOAK_SEEDS=20 make attack-soak.
+attack-soak:
+	$(GO) test -race -short ./internal/attack/
+
 test-invariants:
 	$(GO) test -tags invariants ./...
 
@@ -88,8 +95,9 @@ bench-smoke:
 	$(GO) run ./cmd/benchjson -sha "$$(git rev-parse HEAD 2>/dev/null || echo unknown)" -o BENCH_smoke.json < bench-smoke.out
 	@rm -f bench-smoke.out
 
-# Short fuzz pass over the three targets (seed corpus runs in plain `test`).
+# Short fuzz pass over the fuzz targets (seed corpus runs in plain `test`).
 fuzz:
 	$(GO) test -tags invariants -run '^$$' -fuzz FuzzMACSlot -fuzztime 30s ./internal/meta/
 	$(GO) test -tags invariants -run '^$$' -fuzz FuzzGeometryEqs -fuzztime 30s ./internal/meta/
 	$(GO) test -tags invariants -run '^$$' -fuzz FuzzTrackerEviction -fuzztime 30s ./internal/tracker/
+	$(GO) test -tags invariants -run '^$$' -fuzz FuzzAttackCheck -fuzztime 30s ./internal/secmem/

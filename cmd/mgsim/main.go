@@ -9,6 +9,9 @@
 //	                                              # traffic split (probe)
 //	mgsim -scenario ff1 -scheme Ours -events 50   # dump the last 50 engine
 //	                                              # events as CSV
+//	mgsim -attack replay -scheme Ours             # one adversarial campaign
+//	mgsim -attack all -scheme "MAC-only"          # every attack class
+//	mgsim -attack matrix                          # scheme x class expectations
 //	mgsim -list
 package main
 
@@ -18,6 +21,7 @@ import (
 	"io"
 	"os"
 
+	"unimem/internal/attack"
 	"unimem/internal/core"
 	"unimem/internal/hetero"
 	"unimem/internal/mem"
@@ -44,6 +48,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 1, "trace seed")
 	breakdown := fs.Bool("breakdown", false, "print walk-length histogram and traffic split (probe-collected)")
 	events := fs.Int("events", 0, "dump the last N engine events as CSV")
+	attackArg := fs.String("attack", "", `run adversarial campaigns instead of a simulation: an attack class, "all", or "matrix"`)
+	attackSeed := fs.Uint64("attack-seed", 1, "campaign schedule seed for -attack")
 	list := fs.Bool("list", false, "list scenarios and schemes, then exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -74,6 +80,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if scheme < 0 {
 		fmt.Fprintf(stderr, "unknown scheme %q (try -list)\n", *schemeName)
 		return 2
+	}
+
+	if *attackArg != "" {
+		return runAttack(stdout, stderr, scheme, *attackArg, *attackSeed)
 	}
 
 	sc := hetero.Scenario{ID: "custom", CPU: *cpuW, GPU: *gpuW, NPU1: *npu1, NPU2: *npu2}
@@ -143,6 +153,53 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
+	}
+	return 0
+}
+
+// runAttack drives the campaign harness (internal/attack) against one
+// scheme: each requested class runs a deterministic campaign and is checked
+// against the detection matrix; any mismatch fails the command. "matrix"
+// prints the full scheme x class expectation table instead.
+func runAttack(stdout, stderr io.Writer, scheme core.Scheme, classArg string, seed uint64) int {
+	if classArg == "matrix" {
+		fmt.Fprint(stdout, attack.RenderMatrix())
+		return 0
+	}
+	classes := attack.Classes
+	if classArg != "all" {
+		c, err := attack.ParseClass(classArg)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		classes = []attack.Class{c}
+	}
+
+	row := attack.MatrixFor(scheme)
+	fmt.Fprintf(stdout, "attack campaigns against %s (profile %s, seed %d)\n\n",
+		scheme, attack.ProfileOf(scheme), seed)
+	t := stats.NewTable("class", "expect", "landed", "detected", "diverged", "verdict")
+	mismatches := 0
+	for _, c := range classes {
+		cfg := attack.Config{Scheme: scheme, Class: c, Seed: seed}
+		res := attack.Run(cfg)
+		verdict := "ok"
+		if m := attack.Verdict(cfg, res); m != "" {
+			verdict = "MISMATCH: " + m
+			mismatches++
+		}
+		t.Row(c.String(), row[c].Expect.String(), res.Landed, res.Detected, res.Diverged, verdict)
+	}
+	fmt.Fprintln(stdout, t)
+	for _, c := range classes {
+		if row[c].Expect != attack.Detected {
+			fmt.Fprintf(stdout, "%s is %s: %s\n", c, row[c].Expect, row[c].Why)
+		}
+	}
+	if mismatches > 0 {
+		fmt.Fprintf(stderr, "%d campaign(s) disagreed with the detection matrix\n", mismatches)
+		return 1
 	}
 	return 0
 }

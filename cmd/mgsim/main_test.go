@@ -80,11 +80,37 @@ func TestGoldenEvents(t *testing.T) {
 	golden(t, "events.golden", out)
 }
 
+func TestGoldenAttack(t *testing.T) {
+	out, errs, code := runCmd(t, "-attack", "all", "-scheme", "MAC-only", "-attack-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errs)
+	}
+	for _, want := range []string{"mac-only", "replay", "undetectable", "SecDDR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("attack report lost %q", want)
+		}
+	}
+	golden(t, "attack.golden", out)
+}
+
+func TestAttackMatrixMode(t *testing.T) {
+	out, _, code := runCmd(t, "-attack", "matrix")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"scheme", "Gaps", "Ours", "xgran"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix output lost %q", want)
+		}
+	}
+}
+
 func TestBadArgs(t *testing.T) {
 	cases := [][]string{
 		{"-scheme", "NoSuchScheme"},
 		{"-scenario", "zz9"},
 		{"-bogusflag"},
+		{"-attack", "no-such-class"},
 	}
 	for _, args := range cases {
 		out, errs, code := runCmd(t, args...)

@@ -1,0 +1,68 @@
+package attack
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Artifact is a replayable capture of one campaign: the exact Config that
+// produced a result plus the observed outcome and schedule. Because Run is
+// deterministic in Config, loading an artifact and re-running its Config
+// reproduces the failure bit for bit — the soak's failure hand-off.
+type Artifact struct {
+	// SchemeName / ClassName are the human-readable redundant labels
+	// (Config carries the numeric values the replay uses).
+	SchemeName string `json:"scheme_name"`
+	ClassName  string `json:"class_name"`
+	Config     Config `json:"config"`
+	// Mismatch is the Verdict text that failed the campaign.
+	Mismatch string `json:"mismatch"`
+	Result   Result `json:"result"`
+}
+
+// NewArtifact packages a failed campaign for replay.
+func NewArtifact(cfg Config, res Result, mismatch string) *Artifact {
+	return &Artifact{
+		SchemeName: cfg.Scheme.String(),
+		ClassName:  cfg.Class.String(),
+		Config:     cfg,
+		Mismatch:   mismatch,
+		Result:     res,
+	}
+}
+
+// Save writes the artifact as indented JSON to a fresh temp file and
+// returns its path.
+func (a *Artifact) Save(dir string) (string, error) {
+	f, err := os.CreateTemp(dir, "attack-campaign-*.json")
+	if err != nil {
+		return "", err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(a); err != nil {
+		_ = f.Close()
+		return "", fmt.Errorf("attack: write artifact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("attack: write artifact: %w", err)
+	}
+	return f.Name(), nil
+}
+
+// LoadArtifact reads a saved campaign artifact.
+func LoadArtifact(path string) (*Artifact, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(b, &a); err != nil {
+		return nil, fmt.Errorf("attack: parse artifact %s: %w", path, err)
+	}
+	return &a, nil
+}
+
+// Replay re-runs the artifact's campaign and reports the fresh result.
+func (a *Artifact) Replay() Result { return Run(a.Config) }

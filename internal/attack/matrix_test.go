@@ -1,0 +1,121 @@
+package attack
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"unimem/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// reviewed pins the human-confirmed protection profile of every registered
+// scheme. This is the registry drift guard: when a new scheme lands in
+// core.Schemes without a row here, TestRegistryDriftGuard fails the suite
+// until someone derives its matrix row and records the profile — a matrix
+// gap can never appear silently.
+var reviewed = map[core.Scheme]Profile{
+	core.Unsecure:              ProfileUnsecure,
+	core.Conventional:          ProfileFull,
+	core.StaticDeviceBest:      ProfileFull,
+	core.MultiCTROnly:          ProfileFullSwitching,
+	core.Ours:                  ProfileFullSwitching,
+	core.Adaptive:              ProfileFullSwitching,
+	core.CommonCTR:             ProfileFullSwitching,
+	core.BMFUnused:             ProfileFull,
+	core.BMFUnusedOurs:         ProfileFullSwitching,
+	core.OursDual:              ProfileFullSwitching,
+	core.OursNoSwitch:          ProfileFullSwitching,
+	core.BMFUnusedOursNoSwitch: ProfileFullSwitching,
+	core.PerPartitionOracle:    ProfileFullSwitching,
+	core.MACOnly:               ProfileMACOnly,
+	core.MGXVersioned:          ProfileFull,
+}
+
+func TestRegistryDriftGuard(t *testing.T) {
+	for _, s := range core.Schemes {
+		want, ok := reviewed[s]
+		if !ok {
+			t.Errorf("scheme %s is registered but has no reviewed profile: derive its "+
+				"detection-matrix row and add it to the reviewed map in matrix_test.go", s)
+			continue
+		}
+		if got := ProfileOf(s); got != want {
+			t.Errorf("scheme %s: derived profile %s, reviewed profile %s — the Spec "+
+				"changed; re-review the matrix row", s, got, want)
+		}
+	}
+	if len(reviewed) != len(core.Schemes) {
+		t.Errorf("reviewed map has %d entries for %d registered schemes", len(reviewed), len(core.Schemes))
+	}
+}
+
+// TestNoUnexplainedGaps enforces the acceptance criterion directly: every
+// cell that is not expected-detected must carry a justification.
+func TestNoUnexplainedGaps(t *testing.T) {
+	for _, s := range core.Schemes {
+		row := MatrixFor(s)
+		for _, c := range Classes {
+			if row[c].Expect != Detected && row[c].Why == "" {
+				t.Errorf("%s x %s: %s cell without justification", s, c, row[c].Expect)
+			}
+		}
+	}
+}
+
+func TestMatrixGolden(t *testing.T) {
+	got := RenderMatrix()
+	path := filepath.Join("testdata", "matrix.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("detection matrix drifted from golden (regenerate with -update if intended)\ngot:\n%s", got)
+	}
+}
+
+// TestDetectionMatrix is the table-driven core of the harness: every scheme
+// in the registry crossed with every attack class, each cell asserted
+// against the expected matrix via the shared Verdict.
+func TestDetectionMatrix(t *testing.T) {
+	t.Parallel()
+	for _, s := range core.Schemes {
+		for _, c := range Classes {
+			cfg := Config{Scheme: s, Class: c, Seed: 0x5eed}
+			t.Run(s.String()+"/"+c.String(), func(t *testing.T) {
+				t.Parallel()
+				res := Run(cfg)
+				if m := Verdict(cfg, res); m != "" {
+					t.Fatalf("%s (expect %s)\nresult: landed=%v detected=%v diverged=%v err=%q\nschedule:\n  %s",
+						m, MatrixFor(cfg.Scheme)[cfg.Class].Expect,
+						res.Landed, res.Detected, res.Diverged, res.Err,
+						strings.Join(res.Schedule, "\n  "))
+				}
+			})
+		}
+	}
+}
+
+func TestParseClassRoundTrip(t *testing.T) {
+	for _, c := range Classes {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseClass(%q) = %v, %v; want %v", c.String(), got, err, c)
+		}
+	}
+	if _, err := ParseClass("no-such-class"); err == nil {
+		t.Error("ParseClass accepted an unknown label")
+	}
+}

@@ -1,0 +1,116 @@
+package attack
+
+import (
+	"encoding/json"
+	"os"
+	"strconv"
+	"testing"
+
+	"unimem/internal/core"
+)
+
+// soakSeeds returns how many seeds the soak runs per (scheme, class) cell.
+// Defaults stay small enough for the -race CI lane; ATTACK_SOAK_SEEDS
+// scales the campaign up for long local runs.
+func soakSeeds(t *testing.T) int {
+	if v := os.Getenv("ATTACK_SOAK_SEEDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("invalid ATTACK_SOAK_SEEDS=%q", v)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 1
+	}
+	return 3
+}
+
+// TestSoak is the property-based adversarial soak: randomized-schedule
+// campaigns across every scheme x class cell, each derived deterministically
+// from its seed. A failing cell writes a JSON artifact whose Config replays
+// the exact schedule (go test -run TestReplayArtifact with ATTACK_ARTIFACT
+// pointing at the file).
+func TestSoak(t *testing.T) {
+	t.Parallel()
+	seeds := soakSeeds(t)
+	base := newRNG(0xdecafbad)
+	for _, s := range core.Schemes {
+		for _, c := range Classes {
+			for i := 0; i < seeds; i++ {
+				cfg := Config{Scheme: s, Class: c, Seed: base.next(), Chunks: 3 + int(base.rangeN(3)), Ops: 32 + int(base.rangeN(64))}
+				t.Run(s.String()+"/"+c.String()+"/"+strconv.Itoa(i), func(t *testing.T) {
+					t.Parallel()
+					res := Run(cfg)
+					if m := Verdict(cfg, res); m != "" {
+						path, err := NewArtifact(cfg, res, m).Save(t.TempDir())
+						if err != nil {
+							t.Logf("artifact write failed: %v", err)
+						}
+						t.Fatalf("%s\nreplay artifact: %s\nreplay with: ATTACK_ARTIFACT=%s go test ./internal/attack -run TestReplayArtifact",
+							m, path, path)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestReplayArtifact replays the artifact named by ATTACK_ARTIFACT — the
+// debugging entry point for a soak failure. Without the variable it
+// round-trips a synthetic artifact through Save/Load and verifies the
+// replay reproduces the recorded Result bit for bit.
+func TestReplayArtifact(t *testing.T) {
+	if path := os.Getenv("ATTACK_ARTIFACT"); path != "" {
+		a, err := LoadArtifact(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := a.Replay()
+		t.Logf("replayed %s x %s seed=%#x: landed=%v detected=%v diverged=%v err=%q",
+			a.SchemeName, a.ClassName, a.Config.Seed, res.Landed, res.Detected, res.Diverged, res.Err)
+		if m := Verdict(a.Config, res); m != "" {
+			t.Fatalf("mismatch reproduced: %s\nschedule:\n  %s", m, res.Schedule[len(res.Schedule)-1])
+		}
+		return
+	}
+
+	cfg := Config{Scheme: core.Ours, Class: XGranSplice, Seed: 0xabcdef}
+	res := Run(cfg)
+	art := NewArtifact(cfg, res, "synthetic")
+	path, err := art.Save(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Config != cfg {
+		t.Fatalf("config round-trip drifted: %+v != %+v", loaded.Config, cfg)
+	}
+	got, want := loaded.Replay(), res
+	gb, _ := json.Marshal(got)
+	wb, _ := json.Marshal(want)
+	if string(gb) != string(wb) {
+		t.Fatalf("replay diverged from recorded result\ngot:  %s\nwant: %s", gb, wb)
+	}
+}
+
+// TestRunDeterministic asserts the replayability contract directly: the
+// same Config produces bit-identical Results, including the schedule log.
+func TestRunDeterministic(t *testing.T) {
+	t.Parallel()
+	for _, cfg := range []Config{
+		{Scheme: core.Ours, Class: Replay, Seed: 7},
+		{Scheme: core.MACOnly, Class: Replay, Seed: 7},
+		{Scheme: core.Conventional, Class: CounterTamper, Seed: 9, Chunks: 5, Ops: 80},
+		{Scheme: core.Ours, Class: XGranSplice, Seed: 11},
+	} {
+		a, _ := json.Marshal(Run(cfg))
+		b, _ := json.Marshal(Run(cfg))
+		if string(a) != string(b) {
+			t.Errorf("Run(%+v) is not deterministic\nfirst:  %s\nsecond: %s", cfg, a, b)
+		}
+	}
+}

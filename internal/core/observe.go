@@ -2,6 +2,7 @@ package core
 
 import (
 	"unimem/internal/mem"
+	"unimem/internal/meta"
 	"unimem/internal/probe"
 	"unimem/internal/sim"
 	"unimem/internal/tree"
@@ -127,6 +128,25 @@ func (e *Engine) probeSwitch(r Request, class probe.SwitchClass) {
 	e.prb.Event(probe.Event{
 		At: e.se.Now(), Kind: probe.EvSwitch, Device: r.Device,
 		Addr: r.Addr, Write: r.Write, Class: uint8(class),
+	})
+}
+
+// probeDetect reports a routed granularity detection: the merged encoding
+// that reached the policy and whether the policy consumed it. Emission
+// mirrors Stats.Detections exactly, so external observers (attack
+// campaigns, collectors) see every routed detection without reaching into
+// the pipeline.
+func (e *Engine) probeDetect(chunk uint64, sp meta.StreamPart, consumed bool) {
+	if e.prb == nil {
+		return
+	}
+	var v int64
+	if consumed {
+		v = 1
+	}
+	e.prb.Event(probe.Event{
+		At: e.se.Now(), Kind: probe.EvDetect,
+		Addr: chunk * meta.ChunkSize, Val: v, Aux: int64(sp),
 	})
 }
 

@@ -1,0 +1,26 @@
+package core
+
+// Scheme introspection for callers outside the pipeline. The attack
+// campaign (internal/attack) derives each scheme's expected detection
+// matrix from these traits instead of hard-coding scheme names, so a new
+// registry row is automatically confronted with the threat model.
+
+// SchemeSpec returns the static trait sheet of a registered scheme without
+// constructing an engine. Out-of-range schemes panic, mirroring policyFor.
+func SchemeSpec(s Scheme) Spec {
+	var o Options
+	o.fill()
+	return policyFor(s, &o).Spec()
+}
+
+// SchemeCounterMode reports how the scheme sources version counters for a
+// plain cacheline request from the given device (evaluated on chunk 0 of a
+// fresh policy) — the scheme's freshness story: CounterSkip means the
+// device's traffic carries no replay protection beyond what the
+// application manages itself.
+func SchemeCounterMode(s Scheme, device int) CounterMode {
+	var o Options
+	o.fill()
+	pol := policyFor(s, &o)
+	return pol.CounterMode(Request{Device: device, Addr: 0, Size: 64}, 0)
+}

@@ -40,7 +40,9 @@ func (e *Engine) applyDetection(det tracker.Detection) {
 	if e.spec.DualOnly && sp != meta.AllStream {
 		sp = 0
 	}
-	if e.pol.OnDetection(det.Chunk, sp) {
+	consumed := e.pol.OnDetection(det.Chunk, sp)
+	e.probeDetect(det.Chunk, sp, consumed)
+	if consumed {
 		return
 	}
 	if e.table == nil {

@@ -218,5 +218,8 @@ func TestCollectSummariesMatchEngineStats(t *testing.T) {
 				t.Errorf("%s: probe switch class %s = %d, engine = %d", s, class, p.Switches[class], n)
 			}
 		}
+		if p.Detections != res.Detections {
+			t.Errorf("%s: probe counted %d detections, engine recorded %d", s, p.Detections, res.Detections)
+		}
 	}
 }

@@ -72,6 +72,8 @@ type Summary struct {
 	// MACFetches / MACMerges count MAC-line lookups and same-line merges.
 	MACFetches uint64
 	MACMerges  uint64
+	// Detections counts routed granularity detections (EvDetect).
+	Detections uint64
 	// OverfetchBeats counts extra data beats from over-coarse units.
 	OverfetchBeats uint64
 	// Events is the total number of events reduced.
@@ -173,6 +175,8 @@ func (c *Collector) Event(e Event) {
 		}
 	case EvOverfetch:
 		c.OverfetchBeats += uint64(e.Val)
+	case EvDetect:
+		c.Detections++
 	case EvMemRead:
 		if int(e.Class) < NumTrafficKinds {
 			c.Traffic[e.Class].ReadBeats += uint64(e.Val)
@@ -225,6 +229,7 @@ func (s *Summary) Merge(o *Summary) {
 	}
 	s.MACFetches += o.MACFetches
 	s.MACMerges += o.MACMerges
+	s.Detections += o.Detections
 	s.OverfetchBeats += o.OverfetchBeats
 	s.Events += o.Events
 	for i, d := range o.PerDevice {

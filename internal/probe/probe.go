@@ -49,6 +49,15 @@ const (
 	// Class is the mem.Kind, Val the 64B beat count.
 	EvMemRead
 	EvMemWrite
+	// EvDetect is a routed granularity detection: Addr is the chunk base,
+	// Aux the detected StreamPart encoding, Val 1 when the scheme's policy
+	// consumed the detection (suppressed the lazy switch), 0 otherwise.
+	EvDetect
+	// EvSwitchWindow marks the functional layer opening a lazy-switch
+	// window for a chunk (metadata committed, units not yet resealed):
+	// Addr is the chunk base, Val the old StreamPart, Aux the new one.
+	// Attack campaigns use it to land splices inside the window.
+	EvSwitchWindow
 	nKinds
 )
 
@@ -73,6 +82,10 @@ func (k Kind) String() string {
 		return "memrd"
 	case EvMemWrite:
 		return "memwr"
+	case EvDetect:
+		return "detect"
+	case EvSwitchWindow:
+		return "switchwin"
 	}
 	return "unknown"
 }
@@ -194,6 +207,13 @@ func (e Event) ClassLabel() string {
 type Probe interface {
 	Event(Event)
 }
+
+// Func adapts a plain function to the Probe interface, for callers that
+// want an inline event tap (attack campaigns hooking EvSwitchWindow).
+type Func func(Event)
+
+// Event calls f.
+func (f Func) Event(e Event) { f(e) }
 
 // multi fans one event stream out to several probes.
 type multi []Probe

@@ -74,6 +74,11 @@ func (m *Memory) bumpMajor(chunk uint64) error {
 		minor := m.readCounter(u.Gran.Level(), m.geom.CounterEntryIndex(u.Gran.Level(), meta.BlockIndex(base)))
 		up := unitPlain{base: base, gran: u.Gran, minor: minor, plain: map[uint64][]byte{}}
 		oldEff := oldMajor<<uint(m.ctrBits) | minor
+		// Verify content before decrypting for re-encryption: an epoch bump
+		// that resealed tampered ciphertext would launder the tamper.
+		if err := m.verifyUnit(base, u.Gran, sp, minor, oldEff); err != nil {
+			return err
+		}
 		for a := base; a < base+u.Gran.Bytes(); a += meta.BlockSize {
 			if ct, ok := m.data[a]; ok {
 				up.plain[a] = m.eng.Open(a, oldEff, ct[:])

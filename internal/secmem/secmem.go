@@ -17,6 +17,7 @@ import (
 
 	"unimem/internal/crypto"
 	"unimem/internal/meta"
+	"unimem/internal/probe"
 )
 
 // Integrity violation errors.
@@ -49,9 +50,19 @@ type Memory struct {
 	ctrBits int
 	majors  map[uint64]uint64 // per-chunk major epoch, off-chip
 
+	// prb, when non-nil, receives EvSwitchWindow events while a lazy
+	// granularity switch has verified-and-captured a chunk but not yet
+	// resealed it — the timing seam attack campaigns use to land
+	// mid-switch mutations (see ApplyDetection).
+	prb probe.Probe
+
 	// Stats counts functional operations for tests and examples.
 	Stats Stats
 }
+
+// SetProbe attaches an event tap to the functional layer; only
+// EvSwitchWindow is emitted. The nil default disables emission.
+func (m *Memory) SetProbe(p probe.Probe) { m.prb = p }
 
 // Stats counts functional-layer activity.
 type Stats struct {
@@ -226,6 +237,34 @@ func (m *Memory) sealUnit(base uint64, gran meta.Gran, ctr uint64) {
 	m.macs[m.unitMACAddr(base, sp)] = m.eng.NestedMAC(fines)
 }
 
+// verifyUnit authenticates the unit's stored ciphertext against its MAC
+// under effective counter eff. A pristine unit (minor counter zero, no MAC
+// slot, no stored blocks) passes — fresh memory reads as zero without a
+// MAC. Every path that decrypts stored ciphertext must verify through here
+// first: decrypt-then-reseal without verification would launder off-chip
+// tampering into fresh MACs (a TOCTOU hole real engines close by verifying
+// into on-chip buffers before any re-encryption).
+func (m *Memory) verifyUnit(base uint64, gran meta.Gran, sp meta.StreamPart, minor, eff uint64) error {
+	stored, ok := m.macs[m.unitMACAddr(base, sp)]
+	if !ok {
+		if minor == 0 && m.unitUntouched(base, gran) {
+			return nil
+		}
+		return fmt.Errorf("%w: missing MAC for unit %#x", ErrMAC, base)
+	}
+	fines := m.fineMACs(base, gran, eff)
+	var want crypto.MAC
+	if gran == meta.Gran64 {
+		want = fines[0]
+	} else {
+		want = m.eng.NestedMAC(fines)
+	}
+	if !crypto.Equal(stored, want) {
+		return fmt.Errorf("%w: unit %#x (%v)", ErrMAC, base, gran)
+	}
+	return nil
+}
+
 // --- public data path -----------------------------------------------------
 
 // Write stores one 64B plaintext block at the block-aligned address addr.
@@ -243,8 +282,15 @@ func (m *Memory) Write(addr uint64, plaintext []byte) error {
 	level := gran.Level()
 	entry := m.geom.CounterEntryIndex(level, meta.BlockIndex(base))
 
-	// Verify before read-modify-write of sibling blocks.
+	// Verify before read-modify-write of sibling blocks: the chain for
+	// freshness, the unit MAC for content — sibling ciphertext is about to
+	// be decrypted and resealed, and resealing unverified data would turn a
+	// write into a tamper-laundering primitive.
 	if err := m.verifyChain(level, meta.BlockIndex(base)); err != nil {
+		return err
+	}
+	preMinor := m.readCounter(level, entry)
+	if err := m.verifyUnit(base, gran, m.table.Current(chunk), preMinor, m.effectiveCtr(chunk, preMinor)); err != nil {
 		return err
 	}
 	// Minor-counter saturation: bump the chunk's major epoch (re-encrypts
@@ -300,24 +346,15 @@ func (m *Memory) Read(addr uint64) ([]byte, error) {
 	minor := m.unitCounter(base, gran)
 	ctr := m.effectiveCtr(meta.ChunkIndex(base), minor)
 	sp := m.table.Current(meta.ChunkIndex(base))
-	stored, ok := m.macs[m.unitMACAddr(base, sp)]
+	if err := m.verifyUnit(base, gran, sp, minor, ctr); err != nil {
+		return nil, err
+	}
+	ct, ok := m.data[addr]
 	if !ok {
-		if minor == 0 && m.unitUntouched(base, gran) {
-			return make([]byte, meta.BlockSize), nil
-		}
-		return nil, fmt.Errorf("%w: missing MAC for unit %#x", ErrMAC, base)
+		// Verified unit with no stored ciphertext for this block: pristine
+		// (or a zero-ciphertext member the MAC covers) reads as zero.
+		return make([]byte, meta.BlockSize), nil
 	}
-	fines := m.fineMACs(base, gran, ctr)
-	var want crypto.MAC
-	if gran == meta.Gran64 {
-		want = fines[0]
-	} else {
-		want = m.eng.NestedMAC(fines)
-	}
-	if !crypto.Equal(stored, want) {
-		return nil, fmt.Errorf("%w: unit %#x (%v)", ErrMAC, base, gran)
-	}
-	ct := m.data[addr]
 	return m.eng.Open(addr, ctr, ct[:]), nil
 }
 

@@ -92,9 +92,32 @@ func TestMACTamperDetected(t *testing.T) {
 func TestCounterTamperDetected(t *testing.T) {
 	m := newMem()
 	mustWrite(t, m, 0x40, block(9))
-	m.TamperCounter(0x40)
+	if !m.TamperCounter(0x40) {
+		t.Fatal("fine-grained counter should be off chip and tamperable")
+	}
 	if _, err := m.Read(0x40); !errors.Is(err, ErrTree) {
 		t.Fatalf("tamper err = %v, want ErrTree", err)
+	}
+}
+
+func TestTamperCounterOnChipReportsImpossible(t *testing.T) {
+	// Promote the whole chunk to 32KB. In a region this small the 32KB
+	// protection level sits at or above the on-chip root array, so the
+	// counter is out of the attacker's reach and the primitive must say so
+	// instead of silently no-oping.
+	m := newMem()
+	mustWrite(t, m, 0, block(1))
+	if err := m.ApplyDetection(0, meta.AllStream); err != nil {
+		t.Fatal(err)
+	}
+	if m.GranOf(0).Level() < m.geom.Levels() {
+		t.Skip("region large enough that 32KB counters are off chip")
+	}
+	if m.TamperCounter(0) {
+		t.Fatal("TamperCounter claimed to land on an on-chip counter")
+	}
+	if err := m.Check(0); err != nil {
+		t.Fatalf("no-op tamper must leave memory intact: %v", err)
 	}
 }
 
@@ -341,5 +364,65 @@ func TestCheckHelper(t *testing.T) {
 	m.TamperData(0)
 	if err := m.Check(0); err == nil {
 		t.Fatal("Check missed tamper")
+	}
+}
+
+// TestSnapshotReplayRoundTrip pins the snapshot/replay semantics under
+// granularity switches. A snapshot restores bit-exact off-chip state
+// (Snapshot.Equal after Replay), a replay with no intervening activity is
+// invisible, and a replay of a genuinely stale image — writes and further
+// switches happened in between — restores state that no longer chains to
+// the on-chip roots, so verification must reject it.
+func TestSnapshotReplayRoundTrip(t *testing.T) {
+	m := New(2*meta.ChunkSize, 3)
+	for b := uint64(0); b < 16; b++ {
+		mustWrite(t, m, b*meta.BlockSize, block(byte(b)))
+		mustWrite(t, m, meta.ChunkSize+b*meta.BlockSize, block(byte(0x80+b)))
+	}
+	if err := m.Promote(0, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+
+	// Replay with nothing in between: a no-op, and everything still
+	// verifies and decrypts to the written payloads.
+	m.Replay(snap)
+	if !m.Snapshot().Equal(snap) {
+		t.Fatal("immediate replay changed off-chip state")
+	}
+	for b := uint64(0); b < 16; b++ {
+		got, err := m.Read(b * meta.BlockSize)
+		if err != nil {
+			t.Fatalf("read after no-op replay: %v", err)
+		}
+		if !bytes.Equal(got, block(byte(b))) {
+			t.Fatalf("block %d corrupted by no-op replay", b)
+		}
+	}
+
+	// Advance past the snapshot: new data and more switches on both chunks.
+	target := uint64(meta.ChunkSize + 2*meta.BlockSize)
+	mustWrite(t, m, target, block(0xee))
+	if err := m.Demote(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Promote(1, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if m.Snapshot().Equal(snap) {
+		t.Fatal("post-snapshot activity left off-chip state unchanged")
+	}
+
+	// Replay the stale image: off-chip state is restored exactly, but the
+	// on-chip roots have advanced, so the stale tree must be rejected.
+	m.Replay(snap)
+	if !m.Snapshot().Equal(snap) {
+		t.Fatal("replay did not restore the snapshot bit-exact")
+	}
+	if _, err := m.Read(target); !errors.Is(err, ErrTree) {
+		t.Fatalf("stale replay of a written chunk verified (err=%v), want ErrTree", err)
+	}
+	if _, err := m.Read(0); !errors.Is(err, ErrTree) {
+		t.Fatalf("stale replay across a switched chunk verified (err=%v), want ErrTree", err)
 	}
 }

@@ -3,7 +3,9 @@ package secmem
 import (
 	"fmt"
 
+	"unimem/internal/crypto"
 	"unimem/internal/meta"
+	"unimem/internal/probe"
 )
 
 // ApplyDetection switches a chunk to a newly detected granularity encoding
@@ -40,20 +42,36 @@ func (m *Memory) ApplyDetection(chunk uint64, newSP meta.StreamPart) error {
 		}
 	}
 
-	// Verify and capture the old state: per old unit, its counter; stash
-	// old MAC slot addresses for deletion.
+	// Verify and capture the old state: per old unit, verify the chain
+	// (freshness) and the unit MAC (content), then decrypt every stored
+	// block into an on-chip capture buffer. The reseal phase below works
+	// exclusively from this captured plaintext — resealing from off-chip
+	// ciphertext after verification would let a mid-switch tamper be
+	// laundered into fresh MACs (the TOCTOU window real engines close with
+	// on-chip staging buffers).
 	type oldUnit struct {
 		base uint64
 		gran meta.Gran
 		ctr  uint64
 	}
 	oldUnits := map[uint64]oldUnit{} // by base address
+	plains := map[uint64][]byte{}    // captured plaintext by block address
 	for _, u := range oldSP.Units() {
 		base := chunkBase + uint64(u.Block)*meta.BlockSize
 		if err := m.verifyChain(u.Gran.Level(), meta.BlockIndex(base)); err != nil {
 			return err
 		}
-		oldUnits[base] = oldUnit{base: base, gran: u.Gran, ctr: m.unitCounter(base, u.Gran)}
+		ctr := m.unitCounter(base, u.Gran)
+		eff := m.effectiveCtr(chunk, ctr)
+		if err := m.verifyUnit(base, u.Gran, oldSP, ctr, eff); err != nil {
+			return err
+		}
+		oldUnits[base] = oldUnit{base: base, gran: u.Gran, ctr: ctr}
+		for a := base; a < base+u.Gran.Bytes(); a += meta.BlockSize {
+			if ct, ok := m.data[a]; ok {
+				plains[a] = m.eng.Open(a, eff, ct[:])
+			}
+		}
 		delete(m.macs, m.unitMACAddr(base, oldSP))
 	}
 	// oldOf returns the old unit covering addr.
@@ -65,6 +83,18 @@ func (m *Memory) ApplyDetection(chunk uint64, newSP meta.StreamPart) error {
 	// Commit the new encoding so slot/unit resolution below uses it.
 	m.table.SetNext(chunk, newSP)
 	m.table.CommitAll(chunk)
+
+	// The switch window is open: metadata committed, units not resealed.
+	// Campaigns hook this to land mid-switch mutations; because the reseal
+	// below writes back from captured plaintext, anything an attacker does
+	// to the chunk's off-chip image inside the window is either overwritten
+	// or left inconsistent with the fresh MACs — and thus detected.
+	if m.prb != nil {
+		m.prb.Event(probe.Event{
+			Kind: probe.EvSwitchWindow, Addr: chunkBase,
+			Val: int64(oldSP), Aux: int64(newSP),
+		})
+	}
 
 	for _, u := range newSP.Units() {
 		base := chunkBase + uint64(u.Block)*meta.BlockSize
@@ -79,7 +109,7 @@ func (m *Memory) ApplyDetection(chunk uint64, newSP meta.StreamPart) error {
 			// have no MAC to move — sealing one would authenticate the
 			// zero ciphertext and break fresh-memory-reads-zero semantics.
 			if cover.ctr != 0 || !m.unitUntouched(base, u.Gran) {
-				m.sealUnit(base, u.Gran, m.effectiveCtr(chunk, cover.ctr))
+				m.sealUnitFromPlain(base, u.Gran, m.effectiveCtr(chunk, cover.ctr), plains)
 			}
 
 		case cover.gran > u.Gran:
@@ -88,7 +118,7 @@ func (m *Memory) ApplyDetection(chunk uint64, newSP meta.StreamPart) error {
 			// (address, counter) pad; regenerate the finer MACs only.
 			m.Stats.Demotions++
 			m.writeCounter(level, entry, cover.ctr)
-			m.sealUnit(base, u.Gran, m.effectiveCtr(chunk, cover.ctr))
+			m.sealUnitFromPlain(base, u.Gran, m.effectiveCtr(chunk, cover.ctr), plains)
 
 		default:
 			// Scale-up: the promoted counter becomes max of the covered
@@ -103,13 +133,12 @@ func (m *Memory) ApplyDetection(chunk uint64, newSP meta.StreamPart) error {
 			}
 			newCtr := maxCtr + 1
 			newEff := m.effectiveCtr(chunk, newCtr)
-			// Materialize and re-encrypt every block of the unit so the
-			// nested MAC covers well-defined contents.
+			// Materialize and re-encrypt every block of the unit from the
+			// captured plaintext so the nested MAC covers well-defined
+			// contents (zeros for never-written blocks).
 			for a := base; a < base+size; a += meta.BlockSize {
-				var plain []byte
-				if ct, ok := m.data[a]; ok {
-					plain = m.eng.Open(a, m.effectiveCtr(chunk, oldOf(a).ctr), ct[:])
-				} else {
+				plain := plains[a]
+				if plain == nil {
 					plain = make([]byte, meta.BlockSize)
 				}
 				var ct [meta.BlockSize]byte
@@ -121,6 +150,33 @@ func (m *Memory) ApplyDetection(chunk uint64, newSP meta.StreamPart) error {
 		}
 	}
 	return nil
+}
+
+// sealUnitFromPlain re-encrypts a unit's written blocks from plaintext
+// captured at verify time, writes the ciphertext back, and stores the
+// unit's MAC — never touching off-chip ciphertext mutated after the
+// verification. Blocks absent from the capture keep zero-ciphertext MAC
+// semantics (matching fineMACs) without being materialized.
+func (m *Memory) sealUnitFromPlain(base uint64, gran meta.Gran, eff uint64, plains map[uint64][]byte) {
+	sp := m.table.Current(meta.ChunkIndex(base))
+	fines := make([]crypto.MAC, gran.Blocks())
+	for i := range fines {
+		a := base + uint64(i*meta.BlockSize)
+		if pt, ok := plains[a]; ok {
+			var ct [meta.BlockSize]byte
+			copy(ct[:], m.eng.Seal(a, eff, pt))
+			m.data[a] = ct
+			fines[i] = m.eng.BlockMAC(a, eff, ct[:])
+		} else {
+			var zero [meta.BlockSize]byte
+			fines[i] = m.eng.BlockMAC(a, eff, zero[:])
+		}
+	}
+	if gran == meta.Gran64 {
+		m.macs[m.unitMACAddr(base, sp)] = fines[0]
+		return
+	}
+	m.macs[m.unitMACAddr(base, sp)] = m.eng.NestedMAC(fines)
 }
 
 // anyScaleUp reports whether the transition promotes any partition.

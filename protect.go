@@ -101,15 +101,18 @@ func (p *Protected) Snapshot() *Snapshot { return &Snapshot{s: p.mem.Snapshot()}
 // attack; on-chip roots are untouched, so subsequent reads detect it.
 func (p *Protected) Restore(s *Snapshot) { p.mem.Replay(s.s) }
 
-// TamperData flips one stored ciphertext bit at addr (attack model).
-func (p *Protected) TamperData(addr uint64) { p.mem.TamperData(addr) }
+// TamperData flips one stored ciphertext bit at addr (attack model). It
+// reports whether the mutation landed (always true for data).
+func (p *Protected) TamperData(addr uint64) bool { return p.mem.TamperData(addr) }
 
-// TamperMAC flips one stored MAC bit guarding addr (attack model).
-func (p *Protected) TamperMAC(addr uint64) { p.mem.TamperMAC(addr) }
+// TamperMAC flips one stored MAC bit guarding addr (attack model). It
+// reports whether the mutation landed (always true for MACs).
+func (p *Protected) TamperMAC(addr uint64) bool { return p.mem.TamperMAC(addr) }
 
 // TamperCounter bumps the stored counter guarding addr without resealing
-// the tree (attack model).
-func (p *Protected) TamperCounter(addr uint64) { p.mem.TamperCounter(addr) }
+// the tree (attack model). It reports false when the guarding counter
+// lives on chip and is out of the attacker's reach.
+func (p *Protected) TamperCounter(addr uint64) bool { return p.mem.TamperCounter(addr) }
 
 // Verify checks integrity of the block at addr without returning data.
 func (p *Protected) Verify(addr uint64) error { return p.mem.Check(addr) }
