@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint lint-baseline lint-suppressions lint-sarif lint-hotpath build test test-race test-race-sweep attack-soak test-invariants fuzz cover bench-smoke
+.PHONY: check fmt vet lint lint-baseline lint-suppressions lint-sarif lint-hotpath build test test-race test-race-sweep attack-soak test-invariants fuzz cover bench-smoke mutate mutate-full
 
 check: fmt vet lint lint-suppressions build test test-race-sweep
 
@@ -92,8 +92,27 @@ bench-smoke:
 	$(GO) test -run TestSubmitSteadyStateZeroAlloc -bench 'BenchmarkSweepWorkers' -benchtime 1x -benchmem . ./internal/core/ > bench-smoke.out \
 		|| { cat bench-smoke.out; rm -f bench-smoke.out; exit 1; }
 	@cat bench-smoke.out
-	$(GO) run ./cmd/benchjson -sha "$$(git rev-parse HEAD 2>/dev/null || echo unknown)" -o BENCH_smoke.json < bench-smoke.out
+	@mut=""; if [ -f mgmutate-report.json ]; then mut="-mutation mgmutate-report.json"; fi; \
+	$(GO) run ./cmd/benchjson -sha "$$(git rev-parse HEAD 2>/dev/null || echo unknown)" $$mut -o BENCH_smoke.json < bench-smoke.out
 	@rm -f bench-smoke.out
+
+# Mutation-testing gate (see cmd/mgmutate and DESIGN.md "Mutation
+# testing"). Audits //mutate:ignore directives first (stale or unreasoned
+# ones fail), then runs the seeded deterministic sample over the five
+# security-critical packages: same seed, byte-identical report. Fails on a
+# per-package score below mutation-floor.txt or on any untriaged survivor.
+# CI uploads mgmutate-report.json as an artifact.
+mutate:
+	$(GO) run ./cmd/mgmutate -suppressions ./...
+	$(GO) run ./cmd/mgmutate -sample 12 -seed 1 -short -tags invariants -v \
+		-floor mutation-floor.txt -no-survivors -o mgmutate-report.json ./...
+
+# Exhaustive tier: every derivable mutant, no sampling. Slow; run before
+# raising mutation-floor.txt or after reworking a target package.
+mutate-full:
+	$(GO) run ./cmd/mgmutate -suppressions ./...
+	$(GO) run ./cmd/mgmutate -short -tags invariants -v \
+		-floor mutation-floor.txt -no-survivors -o mgmutate-full.json ./...
 
 # Short fuzz pass over the fuzz targets (seed corpus runs in plain `test`).
 fuzz:

@@ -10,6 +10,12 @@
 // (worker count for the SweepWorkers pair, plus the scheme set those
 // benchmarks sweep), iterations, ns/op, and the -benchmem allocation
 // counters; the envelope stamps the git SHA and toolchain version.
+//
+// With -mutation <mgmutate-report.json> the envelope also carries a
+// mutation_score record distilled from the mgmutate report (seed, sample
+// size, total and per-package kill percentages), so the committed
+// BENCH_*.json trajectory tracks test-suite adequacy alongside raw
+// performance.
 package main
 
 import (
@@ -43,11 +49,23 @@ type Record struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
+// MutationScore summarizes one mgmutate run (see internal/mutate): the
+// sampled mutation-kill percentages that measure how adequate the test
+// suite is, not how fast the code is. Packages maps import path to score;
+// encoding/json emits map keys sorted, keeping the envelope diffable.
+type MutationScore struct {
+	Seed     uint64             `json:"seed"`
+	Sample   int                `json:"sample"`
+	Total    float64            `json:"total"`
+	Packages map[string]float64 `json:"packages"`
+}
+
 // File is the BENCH_smoke.json envelope.
 type File struct {
-	GitSHA    string   `json:"git_sha"`
-	GoVersion string   `json:"go_version"`
-	Results   []Record `json:"results"`
+	GitSHA        string         `json:"git_sha"`
+	GoVersion     string         `json:"go_version"`
+	Results       []Record       `json:"results"`
+	MutationScore *MutationScore `json:"mutation_score,omitempty"`
 }
 
 func main() {
@@ -59,6 +77,7 @@ func run(args []string, stdin io.Reader, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	sha := fs.String("sha", "", "git commit SHA to stamp into the record")
 	out := fs.String("o", "BENCH_smoke.json", "output file")
+	mutation := fs.String("mutation", "", "fold this mgmutate report into a mutation_score record")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -71,6 +90,14 @@ func run(args []string, stdin io.Reader, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "benchjson: no benchmark result lines on stdin")
 		return 1
 	}
+	if *mutation != "" {
+		ms, err := readMutation(*mutation)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		f.MutationScore = ms
+	}
 	f.GitSHA = *sha
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
@@ -82,6 +109,38 @@ func run(args []string, stdin io.Reader, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// readMutation distills an mgmutate JSON report into the envelope's
+// mutation_score record. Only the fields benchjson needs are decoded, so
+// the report schema can grow without touching this tool.
+func readMutation(path string) (*MutationScore, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep struct {
+		Seed     uint64 `json:"seed"`
+		Sample   int    `json:"sample"`
+		Packages []struct {
+			Path  string  `json:"path"`
+			Score float64 `json:"score"`
+		} `json:"packages"`
+		Total struct {
+			Score float64 `json:"score"`
+		} `json:"total"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	ms := &MutationScore{
+		Seed: rep.Seed, Sample: rep.Sample, Total: rep.Total.Score,
+		Packages: map[string]float64{},
+	}
+	for _, p := range rep.Packages {
+		ms.Packages[p.Path] = p.Score
+	}
+	return ms, nil
 }
 
 // Parse extracts benchmark result lines from `go test -bench` output,

@@ -168,7 +168,7 @@ func TestNoThrashWithinAssociativityProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(100)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -184,7 +184,7 @@ func TestStatsConservationProperty(t *testing.T) {
 		s := c.Stats
 		return s.Hits+s.Misses == uint64(len(addrs)) && s.Evictions <= s.Misses && s.Writebacks <= s.Evictions
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(100)); err != nil {
 		t.Fatal(err)
 	}
 }

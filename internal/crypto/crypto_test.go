@@ -145,7 +145,7 @@ func TestSealOpenProperty(t *testing.T) {
 		ct := e.Seal(addr, ctr, content[:])
 		return bytes.Equal(e.Open(addr, ctr, ct), content[:])
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(100)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -162,7 +162,7 @@ func TestMACDistinguishesProperty(t *testing.T) {
 		}
 		return !Equal(ma, mb)
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(100)); err != nil {
 		t.Fatal(err)
 	}
 }

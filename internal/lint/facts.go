@@ -236,6 +236,18 @@ const (
 	heteroPath  = "unimem/internal/hetero"
 )
 
+// SeedUnitFacts exposes the seeded unit-domain facts of the dataflow layer
+// to tooling built on the same lattice: the map carries the parameter and
+// result objects of the internal/meta geometry helpers (and the few seeded
+// struct fields) with the address/index domain each lives in. mgmutate's
+// unit-swap operator derives granularity-index-mixup mutants from it —
+// two helpers with identical Go signatures but different unit facts are
+// exactly the swaps the type checker cannot catch and the suite must.
+func SeedUnitFacts(pkgs []*Package) map[types.Object]Fact {
+	seeds, _ := lookupSeedObjects(pkgs)
+	return seeds
+}
+
 // lookupSeedObjects resolves the seed tables against the loaded packages,
 // returning per-object seed facts plus the geometry-constant identities.
 // Missing entries (fixture modules that stub only part of meta) are skipped.

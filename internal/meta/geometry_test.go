@@ -201,7 +201,7 @@ func TestCounterAddressInjectivityProperty(t *testing.T) {
 		}
 		return a1 != a2
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(100)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -221,7 +221,7 @@ func TestMACChunkIsolationProperty(t *testing.T) {
 		}
 		return a1 != a2
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(100)); err != nil {
 		t.Fatal(err)
 	}
 }

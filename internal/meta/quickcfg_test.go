@@ -1,0 +1,14 @@
+package meta
+
+import (
+	"math/rand"
+	"testing/quick"
+)
+
+// quickCfg returns a fixed-seed testing/quick config. Property inputs must
+// be reproducible run to run: mgmutate compares reports byte-for-byte
+// across identical seeds, and a wall-clock-seeded generator makes kill
+// attribution (which routed package failed first) flap between runs.
+func quickCfg(max int) *quick.Config {
+	return &quick.Config{Rand: rand.New(rand.NewSource(1)), MaxCount: max}
+}

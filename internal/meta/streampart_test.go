@@ -196,7 +196,7 @@ func TestMACSlotBijectionProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(f, quickCfg(200)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -208,7 +208,7 @@ func TestSlotsMonotoneUnderPromotionProperty(t *testing.T) {
 		promoted := sp.PromoteMask(int(first%64), int(count%64)+1)
 		return promoted.SlotsUsed() <= sp.SlotsUsed()
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(100)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -245,7 +245,7 @@ func TestGranUnitConsistencyProperty(t *testing.T) {
 		}
 		return blk >= u.Block && blk < u.Block+u.Blocks()
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(100)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,39 @@
+// Package mutmod is the mutation-engine fixture: small functions with a
+// deliberately incomplete test suite so specific mutants survive, plus
+// ignore directives in both live and stale states.
+package mutmod
+
+// Clamp bounds v to [lo, hi]. The suite tests the lower bound and the
+// midrange but never v == hi, so the swap-ineq mutant on the upper bound
+// survives by design.
+func Clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Sum adds the first n elements of xs. The off-by-one mutant on the loop
+// bound indexes past the slice and dies by panic.
+func Sum(xs []int, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += xs[i]
+	}
+	return total
+}
+
+// Abs is covered only through mutmod/sub's tests: its mutants prove the
+// phase-2 import-graph routing kills what the home package cannot.
+func Abs(v int) int {
+	if v < 0 { //mutate:ignore off-by-one zero boundary is exercised via sub.Norm only
+		return -v
+	}
+	return v
+}
+
+//mutate:ignore negate-cond stale directive: the line below has no if statement
+var Version = 3

@@ -1,0 +1,21 @@
+package mutmod
+
+import "testing"
+
+func TestClampLowAndMid(t *testing.T) {
+	if got := Clamp(-5, 0, 10); got != 0 {
+		t.Fatalf("Clamp(-5,0,10) = %d, want 0", got)
+	}
+	if got := Clamp(5, 0, 10); got != 5 {
+		t.Fatalf("Clamp(5,0,10) = %d, want 5", got)
+	}
+	if got := Clamp(99, 0, 10); got != 10 {
+		t.Fatalf("Clamp(99,0,10) = %d, want 10", got)
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum([]int{1, 2, 3}, 3); got != 6 {
+		t.Fatalf("Sum = %d, want 6", got)
+	}
+}

@@ -1,0 +1,3 @@
+module mutmod
+
+go 1.22

@@ -1,0 +1,10 @@
+// Package sub exists to exercise phase-2 routing: it imports mutmod and
+// its tests are the only observers of mutmod.Abs.
+package sub
+
+import "mutmod"
+
+// Norm is |v| clamped to limit.
+func Norm(v, limit int) int {
+	return mutmod.Clamp(mutmod.Abs(v), 0, limit)
+}

@@ -1,0 +1,12 @@
+package sub
+
+import "testing"
+
+func TestNorm(t *testing.T) {
+	if got := Norm(-7, 10); got != 7 {
+		t.Fatalf("Norm(-7,10) = %d, want 7", got)
+	}
+	if got := Norm(3, 10); got != 3 {
+		t.Fatalf("Norm(3,10) = %d, want 3", got)
+	}
+}

@@ -1,0 +1,95 @@
+package secmem
+
+// Regression tests pinning defects an mgmutate campaign proved invisible
+// to the suite (see DESIGN.md, "Mutation testing").
+
+import (
+	"bytes"
+	"testing"
+
+	"unimem/internal/meta"
+)
+
+// Kills the drop-window mutant on unitOf (secmem.go): while a detected
+// granularity switch is pending but uncommitted, accesses must resolve
+// units through the *current* encoding — during the lazy-switch window
+// "next" describes metadata that does not exist yet, and resolving
+// through it reads counters and MAC slots that were never written.
+func TestReadDuringPendingSwitchUsesCurrentEncoding(t *testing.T) {
+	m := newMem()
+	want := block(0x5a)
+	mustWrite(t, m, 0, want)
+	// Detection wants the chunk coarse; nothing has committed it.
+	m.table.SetNext(0, meta.AllStream)
+	got, err := m.Read(0)
+	if err != nil {
+		t.Fatalf("read inside the lazy-switch window: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("read inside the lazy-switch window returned wrong data")
+	}
+	// Sanity: the window really was open for the whole read.
+	if m.table.Current(0) == m.table.Next(0) {
+		t.Fatal("test no longer exercises an open switch window")
+	}
+}
+
+// Kills the off-by-one mutant on the scale-up max scan (switch.go): the
+// promoted unit's counter must strictly exceed every child counter —
+// reusing a child's value re-encrypts new content under an already-used
+// (address, counter) pad.
+func TestScaleUpCounterExceedsAllChildren(t *testing.T) {
+	m := newMem()
+	want := block(0x17)
+	mustWrite(t, m, 0, want)
+	if c := m.unitCounter(0, meta.Gran64); c != 1 {
+		t.Fatalf("child counter = %d before promotion, want 1", c)
+	}
+	if err := m.ApplyDetection(0, meta.AllStream); err != nil {
+		t.Fatal(err)
+	}
+	if c := m.unitCounter(0, meta.Gran32K); c != 2 {
+		t.Fatalf("promoted counter = %d, want max(children)+1 = 2", c)
+	}
+	if got := mustRead(t, m, 0); !bytes.Equal(got, want) {
+		t.Fatal("promotion lost data")
+	}
+}
+
+// Kills the negate-cond mutant on the scale-up saturation guard
+// (switch.go): the major epoch must bump exactly when assigning
+// max(children)+1 would saturate a bounded minor counter — bumping on
+// every scale-up pays a needless whole-chunk re-encryption, and skipping
+// the saturated case wraps the minor into a reused pad.
+func TestScaleUpBumpsMajorOnlyWhenMinorSaturates(t *testing.T) {
+	// Unsaturated: plenty of headroom, the epoch must stay put.
+	m := newMem()
+	m.SetCounterWidth(8)
+	mustWrite(t, m, 0, block(1))
+	if err := m.ApplyDetection(0, meta.AllStream); err != nil {
+		t.Fatal(err)
+	}
+	if m.majors[0] != 0 {
+		t.Fatalf("majors[0] = %d after unsaturated scale-up, want 0", m.majors[0])
+	}
+
+	// Saturated: the next counter value would not fit 2 bits.
+	m = newMem()
+	m.SetCounterWidth(2)
+	want := block(2)
+	for i := 0; i < 3; i++ {
+		mustWrite(t, m, 0, want) // minor reaches 3 = minorLimit-1
+	}
+	if c := m.unitCounter(0, meta.Gran64); c != 3 {
+		t.Fatalf("child counter = %d before promotion, want 3", c)
+	}
+	if err := m.ApplyDetection(0, meta.AllStream); err != nil {
+		t.Fatal(err)
+	}
+	if m.majors[0] != 1 {
+		t.Fatalf("majors[0] = %d after saturated scale-up, want 1", m.majors[0])
+	}
+	if got := mustRead(t, m, 0); !bytes.Equal(got, want) {
+		t.Fatal("saturated promotion lost data")
+	}
+}

